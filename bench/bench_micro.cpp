@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator substrate: event
+ * queue throughput, cache-array lookups, bbPB allocate/coalesce/drain,
+ * backing-store access, and end-to-end simulated ops per host second.
+ * These guard the simulator's host-side performance (a slow simulator
+ * caps the experiment sizes every other bench can afford).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "api/system.hh"
+#include "cache/cache_array.hh"
+#include "cache/hierarchy.hh"
+#include "core/bbpb.hh"
+#include "mem/backing_store.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleIn(static_cast<Tick>(i % 97), [&]() { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_BackingStoreBlockWrite(benchmark::State &state)
+{
+    BackingStore store;
+    BlockData data;
+    Rng rng(7);
+    for (auto _ : state) {
+        Addr a = blockAlign(rng.below(1ull << 30));
+        store.writeBlock(a, data.bytes.data());
+        benchmark::DoNotOptimize(store.pagesTouched());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackingStoreBlockWrite);
+
+void
+BM_CacheArrayFindTouch(benchmark::State &state)
+{
+    CacheArray<L1Line> array(128_KiB, 8);
+    Rng rng(11);
+    for (unsigned i = 0; i < 1024; ++i) {
+        Addr block = static_cast<Addr>(i) * kBlockSize;
+        L1Line &victim = array.victim(block);
+        array.fill(victim, block);
+    }
+    for (auto _ : state) {
+        Addr block = (rng.below(1024)) * kBlockSize;
+        L1Line *line = array.find(block);
+        if (line)
+            array.touch(*line);
+        benchmark::DoNotOptimize(line);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayFindTouch);
+
+void
+BM_BbpbAllocateCoalesce(benchmark::State &state)
+{
+    SystemConfig cfg;
+    cfg.num_cores = 1;
+    EventQueue eq;
+    BackingStore store;
+    StatRegistry stats;
+    MemCtrl nvmm("nvmm", cfg.nvmm, eq, store, stats);
+    MemSideBbpb bbpb(cfg, eq, nvmm, stats);
+    BlockData data;
+    Rng rng(13);
+    for (auto _ : state) {
+        Addr block = blockAlign(rng.below(16) * kBlockSize);
+        if (bbpb.canAcceptPersist(0, block))
+            bbpb.persistStore(0, block, 8, data);
+        eq.run(eq.now() + 1000);
+        benchmark::DoNotOptimize(bbpb.occupancy());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BbpbAllocateCoalesce);
+
+void
+BM_EndToEndSimulatedStores(benchmark::State &state)
+{
+    // Host cost of simulating one persisting store, end to end.
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg;
+        cfg.num_cores = 1;
+        cfg.l1d.size_bytes = 8_KiB;
+        cfg.llc.size_bytes = 64_KiB;
+        cfg.dram.size_bytes = 64_MiB;
+        cfg.nvmm.size_bytes = 64_MiB;
+        System sys(cfg);
+        Addr base = sys.heap().alloc(0, 64 * 1024, 64);
+        state.ResumeTiming();
+
+        sys.onThread(0, [&](ThreadContext &tc) {
+            for (unsigned i = 0; i < 4096; ++i)
+                tc.store64(base + (i % 1024) * 64, i);
+        });
+        sys.run();
+        benchmark::DoNotOptimize(sys.nvmmWrites());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EndToEndSimulatedStores)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section V-C reproduction: processor-side vs memory-side bbPB NVMM write
+ * traffic.
+ *
+ * The paper reports that a processor-side organisation (ordered store
+ * records, coalescing only between consecutive same-block stores, every
+ * record drained) produces on average 2.8x the NVMM writes of eADR,
+ * whereas the memory-side organisation stays within 4.9%.
+ *
+ * We report two views: the blocks *drained toward* NVMM per organisation
+ * (the paper's drain-traffic view, which reproduces the 2.8x gap) and the
+ * media writes after WPQ coalescing (our controller merges back-to-back
+ * same-block drains in the write-pending queue, absorbing part of the
+ * processor-side penalty).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace bbb;
+
+int
+main(int argc, char **argv)
+{
+    bool fast = bbbench::fastMode(argc, argv);
+    WorkloadParams params = bbbench::shapedParams(fast, 4000, 100000);
+
+    bbbench::banner("Section V-C: processor-side vs memory-side bbPB "
+                    "(normalized to eADR writes)");
+    std::printf("%-10s | %12s %12s | %12s %12s | %10s\n", "workload",
+                "mem media", "proc media", "mem drains", "proc drains",
+                "rejections");
+
+    std::vector<double> mem_media, proc_media, mem_drain, proc_drain;
+    for (const auto &name : bbbench::paperWorkloads()) {
+        ExperimentResult eadr =
+            runExperiment(benchConfig(PersistMode::Eadr), name, params);
+        ExperimentResult mem = runExperiment(
+            benchConfig(PersistMode::BbbMemSide, 32), name, params);
+        ExperimentResult proc = runExperiment(
+            benchConfig(PersistMode::BbbProcSide, 32), name, params);
+
+        double base = double(eadr.nvmm_writes);
+        auto drained = [](const ExperimentResult &r) {
+            return double(r.bbpb_drains + r.bbpb_forced_drains);
+        };
+        double mm = mem.nvmm_writes / base;
+        double pm = proc.nvmm_writes / base;
+        double md = drained(mem) / base;
+        double pd = drained(proc) / base;
+        mem_media.push_back(mm);
+        proc_media.push_back(pm);
+        mem_drain.push_back(std::max(md, 1e-3));
+        proc_drain.push_back(std::max(pd, 1e-3));
+        std::printf("%-10s | %12.3f %12.3f | %12.3f %12.3f | %10llu\n",
+                    name.c_str(), mm, pm, md, pd,
+                    (unsigned long long)proc.bbpb_rejections);
+    }
+    std::printf("%-10s | %12.3f %12.3f | %12.3f %12.3f |\n", "geomean",
+                bbbench::geomean(mem_media), bbbench::geomean(proc_media),
+                bbbench::geomean(mem_drain), bbbench::geomean(proc_drain));
+    std::printf("\nPaper: processor-side ~2.8x eADR writes on average; "
+                "memory-side +4.9%%.\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure from the paper's
+ * evaluation section, printing our measured/estimated value next to the
+ * paper's published value where one exists. Pass `--fast` to any binary
+ * to shrink the simulated runs (CI smoke mode).
+ */
+
+#ifndef BBB_BENCH_BENCH_UTIL_HH
+#define BBB_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hh"
+
+namespace bbbench
+{
+
+/** The Table IV workload list used by Fig. 7 / Fig. 8. */
+inline std::vector<std::string>
+paperWorkloads()
+{
+    return {"rtree",   "ctree",  "hashmap",   "mutateNC",
+            "mutateC", "swapNC", "swapC"};
+}
+
+/** True if `--fast` appears on the command line. */
+inline bool
+fastMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fast") == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Bench workload shape, honoring --fast. */
+inline bbb::WorkloadParams
+shapedParams(bool fast, std::uint64_t ops, std::uint64_t initial)
+{
+    bbb::WorkloadParams p = bbb::benchParams();
+    p.ops_per_thread = fast ? ops / 8 : ops;
+    p.initial_elements = fast ? initial / 8 : initial;
+    if (fast)
+        p.array_elements = 1ull << 17;
+    return p;
+}
+
+/** Print a separator + title in a consistent style. */
+inline void
+banner(const char *title)
+{
+    std::printf("\n================================================================"
+                "===============\n%s\n"
+                "================================================================"
+                "===============\n",
+                title);
+}
+
+/** Geometric mean of a vector of positive values. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+} // namespace bbbench
+
+#endif // BBB_BENCH_BENCH_UTIL_HH

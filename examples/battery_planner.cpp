@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Example: battery provisioning planner.
+ *
+ * Give it a platform description (cores, cache sizes, memory channels)
+ * and a bbPB size; it prints the full flush-on-fail provisioning table:
+ * worst-case drain energy, drain time, and battery volume/footprint for
+ * both technologies, for eADR and for BBB — the Section IV-C methodology
+ * as a reusable tool.
+ *
+ * Run: battery_planner [cores] [l1_kb_per_core] [l2_mb_total] \
+ *                      [l3_mb_total] [channels] [bbpb_entries]
+ * Defaults reproduce the paper's mobile-class platform with 32 entries.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "energy/energy_model.hh"
+
+using namespace bbb;
+
+int
+main(int argc, char **argv)
+{
+    PlatformSpec p = mobilePlatform();
+    unsigned entries = 32;
+    if (argc > 1)
+        p.cores = static_cast<unsigned>(std::atoi(argv[1]));
+    if (argc > 2)
+        p.l1_total_bytes = p.cores * std::strtoull(argv[2], nullptr, 10) *
+                           1024ull;
+    if (argc > 3)
+        p.l2_total_bytes = std::strtoull(argv[3], nullptr, 10) * 1024ull *
+                           1024ull;
+    if (argc > 4)
+        p.l3_total_bytes = std::strtoull(argv[4], nullptr, 10) * 1024ull *
+                           1024ull;
+    if (argc > 5)
+        p.mem_channels = static_cast<unsigned>(std::atoi(argv[5]));
+    if (argc > 6)
+        entries = static_cast<unsigned>(std::atoi(argv[6]));
+    p.name = "custom";
+
+    DrainCostModel model(p);
+
+    std::printf("Platform: %u cores, L1 total %.0f kB, L2 %.1f MB, "
+                "L3 %.1f MB, %u channels\n",
+                p.cores, p.l1_total_bytes / 1024.0,
+                p.l2_total_bytes / 1048576.0, p.l3_total_bytes / 1048576.0,
+                p.mem_channels);
+    std::printf("bbPB: %u entries/core = %.1f kB in the persistence "
+                "domain\n\n",
+                entries, model.bbbBytes(entries) / 1024.0);
+
+    std::printf("%-24s %16s %16s\n", "", "eADR", "BBB");
+    std::printf("%-24s %13.3f mJ %13.3f mJ\n", "avg drain energy",
+                model.eadrDrainEnergyJ() * 1e3,
+                model.bbbDrainEnergyJ(entries) * 1e3);
+    std::printf("%-24s %13.3f us %13.3f us\n", "avg drain time",
+                model.eadrDrainTimeS() * 1e6,
+                model.bbbDrainTimeS(entries) * 1e6);
+    for (BatteryTech t : {BatteryTech::SuperCap, BatteryTech::LiThin}) {
+        double ve = model.eadrBatteryVolumeMm3(t);
+        double vb = model.bbbBatteryVolumeMm3(t, entries);
+        std::printf("%-10s %-12s %11.3f mm3 %11.3f mm3\n", "battery",
+                    batteryTechName(t), ve, vb);
+        std::printf("%-10s %-12s %12.1f %%core %10.1f %%core\n",
+                    "footprint", batteryTechName(t),
+                    model.areaRatioToCore(ve) * 100.0,
+                    model.areaRatioToCore(vb) * 100.0);
+    }
+    std::printf("\nBBB battery advantage: %.0fx energy, %.0fx volume.\n",
+                model.eadrDrainEnergyJ() / model.bbbDrainEnergyJ(entries),
+                model.eadrBatteryVolumeMm3(BatteryTech::LiThin) /
+                    model.bbbBatteryVolumeMm3(BatteryTech::LiThin,
+                                              entries));
+    return 0;
+}

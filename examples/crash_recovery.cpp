@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Example: crash-recovery sweep over a persistent hash map.
+ *
+ * Runs the Table IV hashmap workload under several persistency schemes,
+ * injecting a power failure at a series of points in the run. After each
+ * crash the recovery checker walks the post-crash NVMM image from the
+ * roots and classifies every reachable node. Also prints what the
+ * flush-on-fail drain moved and what it cost (energy/time) — BBB drains
+ * a few kilobytes where eADR drains megabytes.
+ *
+ * Run: crash_recovery [ops_per_thread] [crash_points]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "api/system.hh"
+#include "workloads/workload.hh"
+
+using namespace bbb;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t ops = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                 : 4000;
+    int crash_points = argc > 2 ? std::atoi(argv[2]) : 4;
+
+    WorkloadParams params;
+    params.ops_per_thread = ops;
+    params.initial_elements = 2000;
+
+    std::printf("%-14s %10s %10s %8s %8s %8s | %10s %12s %12s\n", "mode",
+                "crash(us)", "recovered", "torn", "dangling", "verdict",
+                "drained", "energy", "time");
+
+    for (PersistMode mode :
+         {PersistMode::AdrUnsafe, PersistMode::AdrPmem, PersistMode::Eadr,
+          PersistMode::BbbMemSide, PersistMode::BbbProcSide}) {
+        for (int i = 1; i <= crash_points; ++i) {
+            SystemConfig cfg;
+            cfg.num_cores = 4;
+            cfg.mode = mode;
+            // Small caches + random replacement: structures overflow the
+            // hierarchy, so unsafe ADR's eviction-order persistence has
+            // every chance to tear (and the safe schemes must not).
+            cfg.l1d.size_bytes = 4_KiB;
+            cfg.llc.size_bytes = 16_KiB;
+            cfg.l1d.repl = ReplPolicy::Random;
+            cfg.llc.repl = ReplPolicy::Random;
+            cfg.dram.size_bytes = 256_MiB;
+            cfg.nvmm.size_bytes = 256_MiB;
+
+            System sys(cfg);
+            auto wl = makeWorkload("hashmap", params);
+            wl->install(sys);
+            CrashReport rep =
+                sys.runAndCrashAt(nsToTicks(40000ull * i * i));
+            RecoveryResult res = wl->checkRecovery(sys.pmemImage());
+
+            char drained[32], energy[32], time_s[32];
+            std::snprintf(drained, sizeof(drained), "%llu blk",
+                          (unsigned long long)(rep.wpq_blocks +
+                                               rep.bbpb_blocks +
+                                               rep.cache_blocks_l1 +
+                                               rep.cache_blocks_llc));
+            std::snprintf(energy, sizeof(energy), "%.2f uJ",
+                          rep.drain_energy_j * 1e6);
+            std::snprintf(time_s, sizeof(time_s), "%.3f us",
+                          rep.drain_time_s * 1e6);
+
+            std::printf("%-14s %10.1f %10llu %8llu %8llu %8s | %10s %12s "
+                        "%12s\n",
+                        persistModeName(mode),
+                        ticksToNs(rep.crash_tick) / 1000.0,
+                        (unsigned long long)res.intact,
+                        (unsigned long long)res.torn,
+                        (unsigned long long)res.dangling,
+                        res.consistent() ? "OK" : "CORRUPT", drained,
+                        energy, time_s);
+        }
+    }
+
+    std::printf("\nExpected: adr-unsafe eventually CORRUPT; every other "
+                "scheme OK at every crash point.\n"
+                "BBB drains orders of magnitude less than eADR at crash "
+                "time (Tables VII/VIII).\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Experiment harness: run one workload under one configuration and
+ * collect the metrics the paper's evaluation reports.
+ *
+ * This is the backbone of the bench/ binaries (Fig. 7, Fig. 8, the
+ * processor-side comparison, and the PMEM-strict ablation).
+ */
+
+#ifndef BBB_API_EXPERIMENT_HH
+#define BBB_API_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+namespace bbb
+{
+
+/** Metrics from one simulated run. */
+struct ExperimentResult
+{
+    std::string workload;
+    PersistMode mode{};
+    unsigned bbpb_entries = 0;
+
+    /** Last thread's finish tick. */
+    Tick exec_ticks = 0;
+    /** NVMM media block writes. */
+    std::uint64_t nvmm_writes = 0;
+    /** Persisting stores rejected by a full bbPB (counted once each). */
+    std::uint64_t bbpb_rejections = 0;
+    /** bbPB entries drained by the drain policy. */
+    std::uint64_t bbpb_drains = 0;
+    /** bbPB entries drained by eviction pressure. */
+    std::uint64_t bbpb_forced_drains = 0;
+    /** Stores coalesced into live bbPB entries. */
+    std::uint64_t bbpb_coalesces = 0;
+    /** bbPB entries dropped because their block migrated cores. */
+    std::uint64_t bbpb_migrations = 0;
+    /** LLC writebacks skipped by the Section III-E optimisation. */
+    std::uint64_t skipped_writebacks = 0;
+    /** All stores / persisting stores (Table IV's %P-stores). */
+    std::uint64_t stores = 0;
+    std::uint64_t persisting_stores = 0;
+    /** Core ticks spent stalled on the store buffer. */
+    std::uint64_t stall_ticks = 0;
+
+    double
+    pStoreFraction() const
+    {
+        return stores ? static_cast<double>(persisting_stores) / stores
+                      : 0.0;
+    }
+
+    /** CSV header matching toCsv() (for scripting over bench output). */
+    static std::string csvHeader();
+
+    /** One CSV row of every metric. */
+    std::string toCsv() const;
+};
+
+/**
+ * Build, run, and harvest one experiment.
+ *
+ * @param cfg the machine (mode, bbPB size, cache geometry, ...).
+ * @param workload a Table IV workload name.
+ * @param params workload shape knobs.
+ */
+ExperimentResult runExperiment(const SystemConfig &cfg,
+                               const std::string &workload,
+                               const WorkloadParams &params);
+
+/** The paper's default machine (Table III). */
+SystemConfig paperConfig(PersistMode mode, unsigned bbpb_entries = 32);
+
+/**
+ * Scaled-down machine used by the bench binaries: the Table III ratios
+ * with smaller caches/structures so each point simulates in seconds. The
+ * relative behaviour (who wins, crossovers) matches the full
+ * configuration; see EXPERIMENTS.md.
+ */
+SystemConfig benchConfig(PersistMode mode, unsigned bbpb_entries = 32);
+
+/** Workload shape used by the bench binaries. */
+WorkloadParams benchParams();
+
+} // namespace bbb
+
+#endif // BBB_API_EXPERIMENT_HH

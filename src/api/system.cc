@@ -1,0 +1,110 @@
+#include "api/system.hh"
+
+namespace bbb
+{
+
+System::System(const SystemConfig &cfg)
+    : _cfg(cfg), _map(AddrMap::fromConfig(cfg))
+{
+    BBB_ASSERT(_cfg.num_cores >= 1 && _cfg.num_cores <= 64,
+               "1..64 cores supported (directory uses a 64-bit mask)");
+
+    _dram = std::make_unique<MemCtrl>("dram", _cfg.dram, _eq, _store,
+                                      _stats);
+    _nvmm = std::make_unique<MemCtrl>("nvmm", _cfg.nvmm, _eq, _store,
+                                      _stats);
+    _hier = std::make_unique<CacheHierarchy>(_cfg, _map, _eq, *_dram,
+                                             *_nvmm, _stats);
+
+    switch (_cfg.mode) {
+      case PersistMode::BbbMemSide: {
+        auto backend =
+            std::make_unique<MemSideBbpb>(_cfg, _eq, *_nvmm, _stats);
+        _mem_bbpb = backend.get();
+        _backend_owned = std::move(backend);
+        break;
+      }
+      case PersistMode::BbbProcSide: {
+        auto backend =
+            std::make_unique<ProcSideBbpb>(_cfg, _eq, *_nvmm, _stats);
+        _proc_bbpb = backend.get();
+        _backend_owned = std::move(backend);
+        break;
+      }
+      default:
+        _backend_owned = std::make_unique<NullPersistencyBackend>();
+        break;
+    }
+    _backend = _backend_owned.get();
+    _hier->setBackend(_backend);
+
+    for (CoreId c = 0; c < _cfg.num_cores; ++c) {
+        _cores.push_back(
+            std::make_unique<Core>(c, _cfg, _eq, *_hier, _stats));
+    }
+
+    _heap = std::make_unique<PersistentHeap>(_map, _cfg.num_cores);
+    _crash = std::make_unique<CrashEngine>(_cfg, *_hier, *_nvmm, _store,
+                                           *_backend, _cores);
+
+    // Stamp the heap magic in media so recovery can sanity-check it.
+    _store.write64(_heap->magicAddr(), PersistentHeap::kMagic);
+}
+
+System::~System() = default;
+
+void
+System::onThread(CoreId c, Core::ThreadBody body)
+{
+    _cores.at(c)->bindThread(std::move(body));
+}
+
+bool
+System::allThreadsFinished() const
+{
+    for (const auto &core : _cores) {
+        if (!core->finished() && !core->halted())
+            return false;
+    }
+    return true;
+}
+
+Tick
+System::run(Tick max_tick)
+{
+    for (auto &core : _cores)
+        core->start();
+
+    // Run until every thread finishes, then let trailing buffer drains
+    // settle so write counts are complete.
+    while (!allThreadsFinished() && _eq.now() <= max_tick) {
+        if (!_eq.step())
+            break;
+    }
+    _eq.run(max_tick);
+
+    Tick finish = 0;
+    for (const auto &core : _cores)
+        finish = std::max(finish, core->finishTick());
+    _exec_time = finish;
+    return finish;
+}
+
+CrashReport
+System::runAndCrashAt(Tick crash_tick)
+{
+    for (auto &core : _cores)
+        core->start();
+    _eq.run(crash_tick);
+    return crashNow();
+}
+
+CrashReport
+System::crashNow()
+{
+    BBB_ASSERT(!_crashed, "system already crashed");
+    _crashed = true;
+    return _crash->crash(_eq.now());
+}
+
+} // namespace bbb

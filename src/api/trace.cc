@@ -1,0 +1,154 @@
+#include "api/trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "api/system.hh"
+#include "sim/logging.hh"
+
+namespace bbb
+{
+
+TraceRecorder::TraceRecorder(System &sys)
+{
+    _trace.ops.resize(sys.numCores());
+    for (CoreId c = 0; c < sys.numCores(); ++c) {
+        auto *stream = &_trace.ops[c];
+        sys.core(c).setOpObserver(
+            [stream](const MemOp &op) { stream->push_back(op); });
+    }
+}
+
+void
+writeTrace(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+
+    for (CoreId c = 0; c < trace.ops.size(); ++c) {
+        os << "T " << c << "\n";
+        for (const MemOp &op : trace.ops[c]) {
+            switch (op.kind) {
+              case OpKind::Load:
+                os << "L " << op.addr << " " << op.size << "\n";
+                break;
+              case OpKind::Store:
+                os << "S " << op.addr << " " << op.size << " " << op.data
+                   << "\n";
+                break;
+              case OpKind::Flush:
+                os << "F " << op.addr << "\n";
+                break;
+              case OpKind::Fence:
+                os << "B\n";
+                break;
+              case OpKind::Advance:
+                os << "A " << op.cycles << "\n";
+                break;
+              case OpKind::None:
+                break;
+            }
+        }
+    }
+}
+
+Trace
+readTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open trace file '%s' for reading", path.c_str());
+
+    Trace trace;
+    std::vector<MemOp> *stream = nullptr;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        char tag = 0;
+        ls >> tag;
+        MemOp op;
+        switch (tag) {
+          case 'T': {
+            std::size_t core = 0;
+            ls >> core;
+            if (trace.ops.size() <= core)
+                trace.ops.resize(core + 1);
+            stream = &trace.ops[core];
+            continue;
+          }
+          case 'L':
+            op.kind = OpKind::Load;
+            ls >> op.addr >> op.size;
+            break;
+          case 'S':
+            op.kind = OpKind::Store;
+            ls >> op.addr >> op.size >> op.data;
+            break;
+          case 'F':
+            op.kind = OpKind::Flush;
+            ls >> op.addr;
+            op.size = 1;
+            break;
+          case 'B':
+            op.kind = OpKind::Fence;
+            break;
+          case 'A':
+            op.kind = OpKind::Advance;
+            ls >> op.cycles;
+            break;
+          default:
+            fatal("trace '%s': bad tag '%c' at line %zu", path.c_str(),
+                  tag, line_no);
+        }
+        if (ls.fail())
+            fatal("trace '%s': malformed line %zu", path.c_str(), line_no);
+        if (!stream)
+            fatal("trace '%s': op before any 'T <core>' header",
+                  path.c_str());
+        stream->push_back(op);
+    }
+    return trace;
+}
+
+void
+bindTraceReplay(System &sys, const Trace &trace)
+{
+    BBB_ASSERT(trace.ops.size() <= sys.numCores(),
+               "trace has %zu streams but the system has %u cores",
+               trace.ops.size(), sys.numCores());
+
+    for (CoreId c = 0; c < trace.ops.size(); ++c) {
+        const std::vector<MemOp> *stream = &trace.ops[c];
+        sys.onThread(c, [stream](ThreadContext &tc) {
+            for (const MemOp &op : *stream) {
+                switch (op.kind) {
+                  case OpKind::Load:
+                    tc.load(op.addr, op.size);
+                    break;
+                  case OpKind::Store:
+                    tc.store(op.addr, op.size, op.data);
+                    break;
+                  case OpKind::Flush:
+                    tc.writeBack(op.addr);
+                    break;
+                  case OpKind::Fence:
+                    tc.persistBarrier();
+                    break;
+                  case OpKind::Advance:
+                    tc.compute(op.cycles);
+                    break;
+                  case OpKind::None:
+                    break;
+                }
+            }
+        });
+    }
+}
+
+} // namespace bbb

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Memory-operation trace recording and replay.
+ *
+ * A TraceRecorder captures every operation each core issues (the
+ * execution-driven front end becomes a trace generator); traces can be
+ * saved to a portable text format and replayed later through any machine
+ * configuration (trace-driven mode). Replaying the trace of a run on the
+ * same configuration reproduces its timing exactly, which makes traces a
+ * precise tool for debugging regressions and comparing persistency modes
+ * on identical op streams.
+ *
+ * Format (one op per line):
+ *   L <addr> <size>          load
+ *   S <addr> <size> <data>   store
+ *   F <addr>                 writeBack (clwb)
+ *   B                        persistBarrier (sfence)
+ *   A <cycles>               compute
+ *   T <core>                 switch: following ops belong to <core>
+ */
+
+#ifndef BBB_API_TRACE_HH
+#define BBB_API_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/mem_op.hh"
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+class System;
+
+/** A recorded multi-core op stream. */
+struct Trace
+{
+    /** ops[c] = the sequence core c issued. */
+    std::vector<std::vector<MemOp>> ops;
+
+    std::size_t
+    totalOps() const
+    {
+        std::size_t n = 0;
+        for (const auto &v : ops)
+            n += v.size();
+        return n;
+    }
+};
+
+/**
+ * Attach recording to a system (call before run()). The recorder must
+ * outlive the run.
+ */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(System &sys);
+
+    /** The trace captured so far. */
+    const Trace &trace() const { return _trace; }
+    Trace takeTrace() { return std::move(_trace); }
+
+  private:
+    Trace _trace;
+};
+
+/** Serialize a trace to the text format. */
+void writeTrace(const Trace &trace, const std::string &path);
+
+/** Parse a trace from the text format; fatal() on malformed input. */
+Trace readTrace(const std::string &path);
+
+/**
+ * Bind a trace to a system's cores for replay (call instead of
+ * onThread()). The trace must have at most as many streams as the system
+ * has cores. Load values are taken from the replayed machine; stores
+ * write the recorded data, so the final memory image matches a live run
+ * with the same store stream.
+ */
+void bindTraceReplay(System &sys, const Trace &trace);
+
+} // namespace bbb
+
+#endif // BBB_API_TRACE_HH

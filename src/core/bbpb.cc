@@ -1,0 +1,440 @@
+#include "core/bbpb.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bbb
+{
+
+void
+BbpbStats::registerWith(StatGroup &g)
+{
+    g.addCounter("allocations", &allocations, "bbPB entries allocated");
+    g.addCounter("coalesces", &coalesces, "stores coalesced into entries");
+    g.addCounter("drains", &drains, "entries drained by the drain policy");
+    g.addCounter("forced_drains", &forced_drains,
+                 "entries drained by eviction pressure");
+    g.addCounter("migrations", &migrations,
+                 "entries dropped because the block migrated cores");
+    g.addCounter("wpq_retries", &wpq_retries,
+                 "drain attempts deferred by a full WPQ");
+    g.addCounter("crash_drained", &crash_drained,
+                 "entries drained at crash time");
+    g.addHistogram("occupancy", &occupancy, "occupancy seen at allocation");
+    g.addHistogram("residency_ns", &residency_ns,
+                   "entry lifetime from allocation to drain");
+}
+
+namespace
+{
+unsigned
+thresholdEntries(const BbpbConfig &cfg)
+{
+    auto t = static_cast<unsigned>(
+        std::ceil(cfg.drain_threshold * cfg.entries));
+    return std::clamp(t, 1u, cfg.entries);
+}
+} // namespace
+
+// ---------------------------------------------------------------------
+// MemSideBbpb
+// ---------------------------------------------------------------------
+
+MemSideBbpb::MemSideBbpb(const SystemConfig &cfg, EventQueue &eq,
+                         MemCtrl &nvmm, StatRegistry &stats)
+    : _cfg(cfg), _eq(eq), _nvmm(nvmm), _bufs(cfg.num_cores),
+      _threshold(thresholdEntries(cfg.bbpb)), _drain_rng(cfg.seed ^ 0xd7a1)
+{
+    _stats.registerWith(stats.group("bbpb"));
+}
+
+bool
+MemSideBbpb::canAcceptPersist(CoreId c, Addr block)
+{
+    const CoreBuffer &buf = _bufs.at(c);
+    if (buf.entries.count(blockAlign(block)))
+        return true; // coalesce
+    return buf.entries.size() < _cfg.bbpb.entries;
+}
+
+void
+MemSideBbpb::persistStore(CoreId c, Addr addr, unsigned size,
+                          const BlockData &line_data)
+{
+    (void)size;
+    Addr block = blockAlign(addr);
+    CoreBuffer &buf = _bufs.at(c);
+    _stats.occupancy.sample(buf.entries.size());
+
+    auto it = buf.entries.find(block);
+    if (it != buf.entries.end()) {
+        // The entry is already in the persistence domain; coalescing is
+        // unrestricted for the memory-side organisation.
+        it->second.data = line_data;
+        it->second.write_seq = _next_seq++;
+        ++_stats.coalesces;
+        return;
+    }
+
+    BBB_ASSERT(buf.entries.size() < _cfg.bbpb.entries,
+               "persistStore on full bbPB (missing canAcceptPersist?)");
+    std::uint64_t seq = _next_seq++;
+    buf.entries.emplace(block, Entry{line_data, seq, seq, _eq.now()});
+    buf.fifo.emplace(seq, block);
+    ++_stats.allocations;
+    maybeStartDrain(c);
+}
+
+void
+MemSideBbpb::removeEntry(CoreBuffer &buf, Addr block)
+{
+    auto it = buf.entries.find(block);
+    BBB_ASSERT(it != buf.entries.end(), "removing absent bbPB entry");
+    buf.fifo.erase(it->second.seq);
+    buf.entries.erase(it);
+}
+
+void
+MemSideBbpb::onInvalidateForWrite(CoreId holder, Addr block)
+{
+    block = blockAlign(block);
+    CoreBuffer &buf = _bufs.at(holder);
+    if (!buf.entries.count(block))
+        return;
+    // Fig. 6(a)/(b): ownership migrates with the block; the writer's bbPB
+    // takes over the obligation to drain, so no NVMM write happens here.
+    removeEntry(buf, block);
+    ++_stats.migrations;
+}
+
+void
+MemSideBbpb::onForcedDrain(Addr block, const BlockData &data)
+{
+    block = blockAlign(block);
+    for (CoreBuffer &buf : _bufs) {
+        auto it = buf.entries.find(block);
+        if (it == buf.entries.end())
+            continue;
+        // Drain synchronously: the eviction cannot complete until the
+        // value is safely in the WPQ. `data` is the freshest copy from
+        // the cache, which matches the coalesced entry.
+        if (!_nvmm.enqueueWrite(block, data))
+            _nvmm.forceWrite(block, data);
+        _stats.residency_ns.sample(static_cast<std::uint64_t>(
+            ticksToNs(_eq.now() - it->second.alloc_tick)));
+        removeEntry(buf, block);
+        ++_stats.forced_drains;
+        return; // Invariant 4: at most one holder
+    }
+}
+
+bool
+MemSideBbpb::skipLlcWriteback(Addr) const
+{
+    // Any dirty persistent value either sits in a bbPB (forced drain just
+    // handled it) or was already drained; the LLC writeback is redundant.
+    return true;
+}
+
+bool
+MemSideBbpb::holds(CoreId c, Addr block) const
+{
+    return _bufs.at(c).entries.count(blockAlign(block)) != 0;
+}
+
+std::size_t
+MemSideBbpb::occupancy() const
+{
+    std::size_t n = 0;
+    for (const CoreBuffer &buf : _bufs)
+        n += buf.entries.size();
+    return n;
+}
+
+std::size_t
+MemSideBbpb::coreOccupancy(CoreId c) const
+{
+    return _bufs.at(c).entries.size();
+}
+
+void
+MemSideBbpb::maybeStartDrain(CoreId c)
+{
+    CoreBuffer &buf = _bufs[c];
+    if (buf.drain_active || buf.entries.size() < _threshold)
+        return;
+    buf.drain_active = true;
+    _eq.scheduleIn(_cfg.cycles(_cfg.bbpb.drain_latency_cycles),
+                   [this, c]() { drainStep(c); },
+                   EventPriority::DrainComplete);
+}
+
+void
+MemSideBbpb::drainStep(CoreId c)
+{
+    CoreBuffer &buf = _bufs[c];
+    BBB_ASSERT(buf.drain_active, "drain step without active drain");
+
+    // Entries may have been removed (migration/forced drain) since the
+    // step was scheduled; stop when below threshold.
+    if (buf.entries.size() < _threshold) {
+        buf.drain_active = false;
+        return;
+    }
+
+    Addr block = drainVictim(buf);
+    const Entry &entry = buf.entries.at(block);
+
+    if (!_nvmm.enqueueWrite(block, entry.data)) {
+        ++_stats.wpq_retries;
+        _eq.scheduleIn(_cfg.cycles(_cfg.bbpb.retry_cycles),
+                       [this, c]() { drainStep(c); },
+                       EventPriority::DrainComplete);
+        return;
+    }
+
+    _stats.residency_ns.sample(static_cast<std::uint64_t>(
+        ticksToNs(_eq.now() - entry.alloc_tick)));
+    removeEntry(buf, block);
+    ++_stats.drains;
+
+    if (buf.entries.size() >= _threshold) {
+        // Drains pipeline toward the controller: sustained rate is the
+        // injection interval, not the end-to-end transfer latency.
+        _eq.scheduleIn(_cfg.cycles(_cfg.bbpb.drain_issue_cycles),
+                       [this, c]() { drainStep(c); },
+                       EventPriority::DrainComplete);
+    } else {
+        buf.drain_active = false;
+    }
+}
+
+Addr
+MemSideBbpb::drainVictim(const CoreBuffer &buf)
+{
+    BBB_ASSERT(!buf.entries.empty(), "drain victim from empty bbPB");
+    switch (_cfg.bbpb.drain_policy) {
+      case DrainPolicy::Fcfs:
+        return buf.fifo.begin()->second;
+      case DrainPolicy::Lrw: {
+        Addr best = kBadAddr;
+        std::uint64_t oldest_write = ~0ull;
+        for (const auto &kv : buf.entries) {
+            if (kv.second.write_seq < oldest_write) {
+                oldest_write = kv.second.write_seq;
+                best = kv.first;
+            }
+        }
+        return best;
+      }
+      case DrainPolicy::Random: {
+        std::uint64_t idx = _drain_rng.below(buf.entries.size());
+        auto it = buf.entries.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(idx));
+        return it->first;
+      }
+    }
+    panic("unknown drain policy");
+}
+
+std::vector<PersistRecord>
+MemSideBbpb::crashDrain()
+{
+    std::vector<PersistRecord> out;
+    for (CoreBuffer &buf : _bufs) {
+        // FCFS order within a core (order is irrelevant across blocks
+        // since each block has exactly one entry system-wide).
+        for (const auto &kv : buf.fifo) {
+            out.push_back({kv.second, buf.entries.at(kv.second).data});
+            ++_stats.crash_drained;
+        }
+        buf.entries.clear();
+        buf.fifo.clear();
+        buf.drain_active = false;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// ProcSideBbpb
+// ---------------------------------------------------------------------
+
+ProcSideBbpb::ProcSideBbpb(const SystemConfig &cfg, EventQueue &eq,
+                           MemCtrl &nvmm, StatRegistry &stats)
+    : _cfg(cfg), _eq(eq), _nvmm(nvmm), _bufs(cfg.num_cores),
+      _threshold(thresholdEntries(cfg.bbpb))
+{
+    _stats.registerWith(stats.group("bbpb_proc"));
+}
+
+bool
+ProcSideBbpb::canAcceptPersist(CoreId c, Addr block)
+{
+    const CoreBuffer &buf = _bufs.at(c);
+    block = blockAlign(block);
+    // The only coalescing opportunity (when enabled): a pair of
+    // consecutive stores to one block.
+    if (_cfg.bbpb.proc_pairwise_coalescing && !buf.records.empty() &&
+        buf.records.back().block == block &&
+        !buf.records.back().coalesced_once) {
+        return true;
+    }
+    return buf.records.size() < _cfg.bbpb.entries;
+}
+
+void
+ProcSideBbpb::persistStore(CoreId c, Addr addr, unsigned size,
+                           const BlockData &line_data)
+{
+    (void)size;
+    Addr block = blockAlign(addr);
+    CoreBuffer &buf = _bufs.at(c);
+    _stats.occupancy.sample(buf.records.size());
+
+    if (_cfg.bbpb.proc_pairwise_coalescing && !buf.records.empty() &&
+        buf.records.back().block == block &&
+        !buf.records.back().coalesced_once) {
+        buf.records.back().data = line_data;
+        buf.records.back().coalesced_once = true;
+        ++_stats.coalesces;
+        return;
+    }
+
+    BBB_ASSERT(buf.records.size() < _cfg.bbpb.entries,
+               "persistStore on full processor-side bbPB");
+    buf.records.push_back(Record{block, line_data, false});
+    ++_stats.allocations;
+    maybeStartDrain(c);
+}
+
+void
+ProcSideBbpb::drainPrefixFor(CoreId c, Addr block)
+{
+    CoreBuffer &buf = _bufs.at(c);
+    // Find the last record for the block; everything at or before it must
+    // drain first to preserve persist order.
+    std::size_t last = buf.records.size();
+    for (std::size_t i = buf.records.size(); i-- > 0;) {
+        if (buf.records[i].block == block) {
+            last = i;
+            break;
+        }
+    }
+    if (last == buf.records.size())
+        return; // block not buffered
+
+    for (std::size_t i = 0; i <= last; ++i) {
+        const Record &r = buf.records.front();
+        if (!_nvmm.enqueueWrite(r.block, r.data))
+            _nvmm.forceWrite(r.block, r.data);
+        ++_stats.forced_drains;
+        buf.records.pop_front();
+    }
+}
+
+void
+ProcSideBbpb::onInvalidateForWrite(CoreId holder, Addr block)
+{
+    // Ordered records cannot be dropped (older records would overtake);
+    // drain through the block instead.
+    drainPrefixFor(holder, blockAlign(block));
+}
+
+void
+ProcSideBbpb::onForcedDrain(Addr block, const BlockData &data)
+{
+    (void)data;
+    block = blockAlign(block);
+    for (CoreId c = 0; c < _bufs.size(); ++c)
+        drainPrefixFor(c, block);
+}
+
+bool
+ProcSideBbpb::skipLlcWriteback(Addr) const
+{
+    // Every persisting store's value reaches NVMM through its record, so
+    // the LLC writeback is still redundant.
+    return true;
+}
+
+bool
+ProcSideBbpb::holds(CoreId c, Addr block) const
+{
+    block = blockAlign(block);
+    const CoreBuffer &buf = _bufs.at(c);
+    return std::any_of(buf.records.begin(), buf.records.end(),
+                       [&](const Record &r) { return r.block == block; });
+}
+
+std::size_t
+ProcSideBbpb::occupancy() const
+{
+    std::size_t n = 0;
+    for (const CoreBuffer &buf : _bufs)
+        n += buf.records.size();
+    return n;
+}
+
+std::size_t
+ProcSideBbpb::coreOccupancy(CoreId c) const
+{
+    return _bufs.at(c).records.size();
+}
+
+void
+ProcSideBbpb::maybeStartDrain(CoreId c)
+{
+    CoreBuffer &buf = _bufs[c];
+    if (buf.drain_active || buf.records.size() < _threshold)
+        return;
+    buf.drain_active = true;
+    _eq.scheduleIn(_cfg.cycles(_cfg.bbpb.drain_latency_cycles),
+                   [this, c]() { drainStep(c); },
+                   EventPriority::DrainComplete);
+}
+
+void
+ProcSideBbpb::drainStep(CoreId c)
+{
+    CoreBuffer &buf = _bufs[c];
+    if (buf.records.size() < _threshold) {
+        buf.drain_active = false;
+        return;
+    }
+
+    const Record &r = buf.records.front();
+    if (!_nvmm.enqueueWrite(r.block, r.data)) {
+        ++_stats.wpq_retries;
+        _eq.scheduleIn(_cfg.cycles(_cfg.bbpb.retry_cycles),
+                       [this, c]() { drainStep(c); },
+                       EventPriority::DrainComplete);
+        return;
+    }
+    buf.records.pop_front();
+    ++_stats.drains;
+
+    if (buf.records.size() >= _threshold) {
+        _eq.scheduleIn(_cfg.cycles(_cfg.bbpb.drain_issue_cycles),
+                       [this, c]() { drainStep(c); },
+                       EventPriority::DrainComplete);
+    } else {
+        buf.drain_active = false;
+    }
+}
+
+std::vector<PersistRecord>
+ProcSideBbpb::crashDrain()
+{
+    std::vector<PersistRecord> out;
+    for (CoreBuffer &buf : _bufs) {
+        for (const Record &r : buf.records) {
+            out.push_back({r.block, r.data});
+            ++_stats.crash_drained;
+        }
+        buf.records.clear();
+        buf.drain_active = false;
+    }
+    return out;
+}
+
+} // namespace bbb

@@ -1,0 +1,91 @@
+#include "core/crash_engine.hh"
+
+namespace bbb
+{
+
+PlatformSpec
+CrashEngine::simulatedPlatform() const
+{
+    PlatformSpec p;
+    p.name = "simulated";
+    p.cores = _cfg.num_cores;
+    p.l1_total_bytes = _cfg.num_cores * _cfg.l1d.size_bytes;
+    p.l2_total_bytes = _cfg.llc.size_bytes;
+    p.l3_total_bytes = 0;
+    p.mem_channels = _cfg.nvmm.channels;
+    p.core_area_mm2 = 2.61;
+    return p;
+}
+
+CrashReport
+CrashEngine::crash(Tick now)
+{
+    CrashReport rep;
+    rep.crash_tick = now;
+    rep.mode = _cfg.mode;
+
+    for (auto &core : _cores)
+        core->halt();
+
+    DrainCostModel cost(simulatedPlatform());
+    std::uint64_t l1_rate_bytes = 0;  // bbPB / L1 / SB draining path
+    std::uint64_t llc_rate_bytes = 0; // LLC draining path
+
+    // 1. WPQ: always in the persistence domain (ADR). Oldest data first.
+    rep.wpq_blocks = _nvmm.drainAllToMedia();
+
+    // 2. Mode-specific drains, oldest-to-newest so fresher copies win.
+    switch (_cfg.mode) {
+      case PersistMode::AdrPmem:
+      case PersistMode::AdrUnsafe:
+        break; // caches and buffers are lost
+
+      case PersistMode::Eadr: {
+        std::uint64_t from_l1 = 0;
+        auto dirty = _hier.collectDirtyNvmm(&from_l1);
+        for (const auto &rec : dirty)
+            _store.writeBlock(rec.block, rec.data.bytes.data());
+        rep.cache_blocks_l1 = from_l1;
+        rep.cache_blocks_llc = dirty.size() - from_l1;
+        l1_rate_bytes += from_l1 * kBlockSize;
+        llc_rate_bytes += (dirty.size() - from_l1) * kBlockSize;
+        break;
+      }
+
+      case PersistMode::BbbMemSide:
+      case PersistMode::BbbProcSide: {
+        auto records = _backend.crashDrain();
+        for (const auto &rec : records)
+            _store.writeBlock(rec.block, rec.data.bytes.data());
+        rep.bbpb_blocks = records.size();
+        l1_rate_bytes += records.size() * kBlockSize;
+        break;
+      }
+    }
+
+    // 3. Battery-backed store buffers (relaxed consistency): applied last
+    // and in program order, they are the youngest persisting stores
+    // (Section III-C). Needed equally by eADR and BBB; disabling
+    // sb_battery_backed reproduces the Section III-C ordering hazard.
+    if (_cfg.relaxed_consistency && _cfg.sb_battery_backed &&
+        _cfg.mode != PersistMode::AdrPmem &&
+        _cfg.mode != PersistMode::AdrUnsafe) {
+        for (auto &core : _cores) {
+            auto entries = core->storeBuffer().drainForCrash();
+            for (const auto &e : entries) {
+                _store.write(e.addr, &e.data, e.size);
+                ++rep.sb_entries;
+                l1_rate_bytes += e.size;
+            }
+        }
+    }
+
+    rep.drained_bytes = l1_rate_bytes + llc_rate_bytes;
+    rep.drain_energy_j = cost.drainEnergyJ(l1_rate_bytes, llc_rate_bytes, 0);
+    rep.drain_time_s =
+        static_cast<double>(rep.drained_bytes) /
+        (cost.constants().channel_write_bw * _cfg.nvmm.channels);
+    return rep;
+}
+
+} // namespace bbb

@@ -1,0 +1,279 @@
+#include "cpu/core.hh"
+
+namespace bbb
+{
+
+// ---------------------------------------------------------------------
+// ThreadContext
+// ---------------------------------------------------------------------
+
+ThreadContext::ThreadContext(Core &core, std::uint64_t seed)
+    : _core(core), _rng(seed)
+{
+}
+
+CoreId
+ThreadContext::coreId() const
+{
+    return _core.id();
+}
+
+Tick
+ThreadContext::now() const
+{
+    return _core._eq.now();
+}
+
+std::uint64_t
+ThreadContext::issue(const MemOp &op)
+{
+    return _core.issueFromFiber(op);
+}
+
+std::uint64_t
+ThreadContext::load(Addr addr, unsigned size)
+{
+    MemOp op;
+    op.kind = OpKind::Load;
+    op.addr = addr;
+    op.size = size;
+    return issue(op);
+}
+
+void
+ThreadContext::store(Addr addr, unsigned size, std::uint64_t value)
+{
+    MemOp op;
+    op.kind = OpKind::Store;
+    op.addr = addr;
+    op.size = size;
+    op.data = value;
+    issue(op);
+
+    // Strict persistency on an ADR/PMEM machine: every persisting store
+    // is followed by clwb + sfence (Section II-A / Figure 3).
+    const SystemConfig &cfg = _core.config();
+    if (cfg.mode == PersistMode::AdrPmem && cfg.pmem_auto_strict &&
+        _core.hierarchy().addrMap().isPersistent(addr)) {
+        writeBack(addr);
+        persistBarrier();
+    }
+}
+
+void
+ThreadContext::writeBack(Addr addr)
+{
+    // Only the ADR/PMEM machine needs (and executes) explicit flushes;
+    // under eADR and BBB the instruction is never emitted (Table I).
+    if (_core.config().mode != PersistMode::AdrPmem)
+        return;
+    MemOp op;
+    op.kind = OpKind::Flush;
+    op.addr = addr;
+    op.size = 1;
+    issue(op);
+}
+
+void
+ThreadContext::persistBarrier()
+{
+    if (_core.config().mode != PersistMode::AdrPmem)
+        return;
+    MemOp op;
+    op.kind = OpKind::Fence;
+    issue(op);
+}
+
+void
+ThreadContext::compute(std::uint64_t cycles)
+{
+    if (cycles == 0)
+        return;
+    MemOp op;
+    op.kind = OpKind::Advance;
+    op.cycles = cycles;
+    issue(op);
+}
+
+// ---------------------------------------------------------------------
+// Core
+// ---------------------------------------------------------------------
+
+Core::Core(CoreId id, const SystemConfig &cfg, EventQueue &eq,
+           CacheHierarchy &hier, StatRegistry &stats)
+    : _id(id), _cfg(cfg), _eq(eq), _hier(hier),
+      _sb(id, cfg, eq, hier, stats)
+{
+    _sb.setOnChange([this]() { onSbChange(); });
+    _sb.setOutOfOrderDrain(cfg.relaxed_consistency);
+
+    StatGroup &g = stats.group("core" + std::to_string(id));
+    g.addCounter("ops", &_ops, "operations issued by the thread");
+    g.addCounter("loads", &_loads, "");
+    g.addCounter("stores", &_stores, "");
+    g.addCounter("flushes", &_flushes, "");
+    g.addCounter("fences", &_fences, "");
+    g.addCounter("sb_full_stalls", &_sb_full_stalls,
+                 "stores stalled on a full store buffer");
+    g.addCounter("stall_ticks", &_stall_ticks,
+                 "ticks spent waiting on the store buffer");
+}
+
+void
+Core::bindThread(ThreadBody body)
+{
+    BBB_ASSERT(!_fiber, "core %u already has a thread", _id);
+    _tc = std::make_unique<ThreadContext>(*this,
+                                          _cfg.seed * 1315423911u + _id);
+    ThreadContext *tc = _tc.get();
+    _fiber = std::make_unique<Fiber>([body = std::move(body), tc]() {
+        body(*tc);
+    });
+}
+
+void
+Core::start()
+{
+    if (_started || !_fiber)
+        return;
+    _started = true;
+    _eq.scheduleIn(0, [this]() { resumeFiber(); }, EventPriority::CoreOp);
+}
+
+std::uint64_t
+Core::issueFromFiber(const MemOp &op)
+{
+    _pending = op;
+    _op_in_flight = true;
+    ++_ops;
+    if (_op_observer)
+        _op_observer(op);
+    Fiber::yield();
+    return _result;
+}
+
+void
+Core::resumeFiber()
+{
+    if (_halted || _finished)
+        return;
+
+    _fiber->resume();
+
+    if (_fiber->finished()) {
+        _finished = true;
+        _finish_tick = _eq.now();
+        return;
+    }
+
+    BBB_ASSERT(_op_in_flight, "fiber yielded without an op");
+    executePending();
+}
+
+void
+Core::onSbChange()
+{
+    if (_halted || !_waiting_on_sb)
+        return;
+    _waiting_on_sb = false;
+    _stall_ticks += _eq.now() - _wait_start;
+    executePending();
+}
+
+void
+Core::executePending()
+{
+    if (_halted)
+        return;
+    BBB_ASSERT(_op_in_flight, "nothing pending");
+
+    auto complete = [this](Tick lat, std::uint64_t result) {
+        _result = result;
+        _op_in_flight = false;
+        _eq.scheduleIn(lat, [this]() { resumeFiber(); },
+                       EventPriority::CoreOp);
+    };
+    auto waitOnSb = [this]() {
+        _waiting_on_sb = true;
+        _wait_start = _eq.now();
+    };
+
+    const Tick cycle = _cfg.cyclePeriod();
+
+    switch (_pending.kind) {
+      case OpKind::Load: {
+        ++_loads;
+        std::uint64_t fwd;
+        if (_sb.forward(_pending.addr, _pending.size, fwd)) {
+            complete(cycle, fwd);
+            return;
+        }
+        if (_sb.hasBlock(blockAlign(_pending.addr))) {
+            // Partial overlap with a buffered store: wait for it to
+            // retire rather than merging bytes.
+            waitOnSb();
+            return;
+        }
+        std::uint64_t value = 0;
+        AccessResult res =
+            _hier.load(_id, _pending.addr, _pending.size, &value);
+        complete(res.latency, value);
+        return;
+      }
+
+      case OpKind::Store: {
+        if (_sb.full()) {
+            ++_sb_full_stalls;
+            waitOnSb();
+            return;
+        }
+        ++_stores;
+        bool persisting = _hier.addrMap().isPersistent(_pending.addr);
+        _sb.push(_pending.addr, _pending.size, _pending.data, persisting);
+        complete(cycle, 0);
+        return;
+      }
+
+      case OpKind::Flush: {
+        if (_sb.hasBlock(blockAlign(_pending.addr))) {
+            waitOnSb();
+            return;
+        }
+        ++_flushes;
+        // clwb-style flushes are asynchronous: the instruction retires
+        // after issue; the writeback proceeds in the background and only
+        // a fence waits for it (x86 clwb / Arm DC CVAP semantics).
+        Tick lat = _hier.flushBlock(_id, _pending.addr);
+        ++_flushes_outstanding;
+        _eq.scheduleIn(lat,
+                       [this]() {
+                           BBB_ASSERT(_flushes_outstanding > 0,
+                                      "flush completion underflow");
+                           --_flushes_outstanding;
+                           onSbChange(); // re-evaluate a waiting fence
+                       },
+                       EventPriority::MemResponse);
+        complete(cycle, 0);
+        return;
+      }
+
+      case OpKind::Fence: {
+        if (!_sb.empty() || _flushes_outstanding > 0) {
+            waitOnSb();
+            return;
+        }
+        ++_fences;
+        complete(cycle, 0);
+        return;
+      }
+
+      case OpKind::Advance:
+        complete(_pending.cycles * cycle, 0);
+        return;
+
+      case OpKind::None:
+        panic("core %u executing OpKind::None", _id);
+    }
+}
+
+} // namespace bbb

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The timing core model and the thread context workloads run against.
+ *
+ * Each core executes one software thread, written as ordinary C++ running
+ * on a fiber. The thread issues memory operations through its
+ * ThreadContext; the core charges simulated latency for each operation by
+ * suspending the fiber and resuming it when the operation completes.
+ *
+ * The model is a one-memory-op-at-a-time in-order core with a store buffer
+ * (stores retire asynchronously, loads block). This reproduces the bbPB
+ * pressure behaviour the paper studies — back-to-back persisting stores
+ * stall only when the store buffer backs up on a full bbPB — without
+ * modelling a full out-of-order pipeline (see DESIGN.md, substitutions).
+ */
+
+#ifndef BBB_CPU_CORE_HH
+#define BBB_CPU_CORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cache/hierarchy.hh"
+#include "cpu/mem_op.hh"
+#include "cpu/store_buffer.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace bbb
+{
+
+class Core;
+
+/**
+ * The interface workload code uses to touch simulated memory. All calls
+ * must be made from within the workload's fiber.
+ */
+class ThreadContext
+{
+  public:
+    ThreadContext(Core &core, std::uint64_t seed);
+
+    /** Load @p size (1..8) bytes; returns the zero-extended value. */
+    std::uint64_t load(Addr addr, unsigned size);
+
+    /** Store the low @p size bytes of @p value. */
+    void store(Addr addr, unsigned size, std::uint64_t value);
+
+    std::uint64_t load64(Addr a) { return load(a, 8); }
+    std::uint32_t load32(Addr a) { return static_cast<std::uint32_t>(load(a, 4)); }
+    void store64(Addr a, std::uint64_t v) { store(a, 8, v); }
+    void store32(Addr a, std::uint32_t v) { store(a, 4, v); }
+
+    /**
+     * Explicit writeback of @p addr's block toward NVMM (clwb). A no-op
+     * under eADR and BBB (Table I: no persist instructions needed); under
+     * ADR/PMEM it is required for durability.
+     */
+    void writeBack(Addr addr);
+
+    /** Persist barrier (sfence): order prior flushes before later stores.
+     *  Also a no-op outside the ADR/PMEM mode. */
+    void persistBarrier();
+
+    /** Burn @p cycles of compute time. */
+    void compute(std::uint64_t cycles);
+
+    /** Deterministic per-thread RNG. */
+    Rng &rng() { return _rng; }
+
+    /** The core this thread runs on. */
+    CoreId coreId() const;
+
+    /** Current simulated time (for instrumentation). */
+    Tick now() const;
+
+  private:
+    friend class Core;
+
+    /** Hand @p op to the core and suspend until it completes. */
+    std::uint64_t issue(const MemOp &op);
+
+    Core &_core;
+    Rng _rng;
+};
+
+/** One simulated core: fiber scheduler + store buffer + stats. */
+class Core
+{
+  public:
+    using ThreadBody = std::function<void(ThreadContext &)>;
+
+    Core(CoreId id, const SystemConfig &cfg, EventQueue &eq,
+         CacheHierarchy &hier, StatRegistry &stats);
+
+    /** Bind the software thread this core will run. */
+    void bindThread(ThreadBody body);
+
+    /** Schedule the first fiber resume (idempotent). */
+    void start();
+
+    bool finished() const { return _finished; }
+    Tick finishTick() const { return _finish_tick; }
+
+    CoreId id() const { return _id; }
+    StoreBuffer &storeBuffer() { return _sb; }
+    const SystemConfig &config() const { return _cfg; }
+    EventQueue &eventQueue() { return _eq; }
+    CacheHierarchy &hierarchy() { return _hier; }
+
+    /** Stop issuing work (crash): the fiber is abandoned mid-flight. */
+    void halt() { _halted = true; }
+    bool halted() const { return _halted; }
+
+    /**
+     * Observe every operation the thread issues (trace recording).
+     * Called at issue time, before the op executes.
+     */
+    void
+    setOpObserver(std::function<void(const MemOp &)> observer)
+    {
+        _op_observer = std::move(observer);
+    }
+
+    std::uint64_t memOps() const { return _ops.value(); }
+
+  private:
+    friend class ThreadContext;
+
+    /** Called from the fiber side: record the op and yield. */
+    std::uint64_t issueFromFiber(const MemOp &op);
+
+    /** Resume the fiber (runs in simulator context). */
+    void resumeFiber();
+
+    /** Try to start/complete the pending op; may set a wait state. */
+    void executePending();
+
+    /** Store-buffer change notification: re-evaluate waits. */
+    void onSbChange();
+
+    CoreId _id;
+    SystemConfig _cfg;
+    EventQueue &_eq;
+    CacheHierarchy &_hier;
+    StoreBuffer _sb;
+
+    std::unique_ptr<ThreadContext> _tc;
+    std::unique_ptr<Fiber> _fiber;
+
+    MemOp _pending;
+    std::function<void(const MemOp &)> _op_observer;
+    /** Issued clwb-style flushes not yet durable (fences wait on this). */
+    unsigned _flushes_outstanding = 0;
+    std::uint64_t _result = 0;
+    bool _op_in_flight = false;
+    bool _waiting_on_sb = false;
+    bool _started = false;
+    bool _finished = false;
+    bool _halted = false;
+    Tick _finish_tick = 0;
+    Tick _wait_start = 0;
+
+    StatCounter _ops;
+    StatCounter _loads;
+    StatCounter _stores;
+    StatCounter _flushes;
+    StatCounter _fences;
+    StatCounter _sb_full_stalls;
+    StatCounter _stall_ticks;
+};
+
+} // namespace bbb
+
+#endif // BBB_CPU_CORE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Platform descriptions for the draining-cost analysis (Table V).
+ *
+ * The mobile-class platform follows the Arm-based iPhone 11 (A13): 6
+ * cores, 6 x 128 kB L1, one 8 MB L2, 2 memory channels, and a 2.61 mm^2
+ * little-core footprint. The server-class platform follows the Intel Xeon
+ * Platinum 9222: 32 cores, 32 x 32 kB L1, 32 x 1 MB L2, 2 x 35.75 MB L3,
+ * 12 memory channels.
+ */
+
+#ifndef BBB_ENERGY_PLATFORM_HH
+#define BBB_ENERGY_PLATFORM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+/** A platform whose flush-on-fail cost we evaluate. */
+struct PlatformSpec
+{
+    std::string name;
+    unsigned cores;
+    std::uint64_t l1_total_bytes;
+    std::uint64_t l2_total_bytes;
+    std::uint64_t l3_total_bytes;
+    unsigned mem_channels;
+    /** Reference core footprint used for area ratios (mm^2). */
+    double core_area_mm2;
+
+    std::uint64_t
+    totalCacheBytes() const
+    {
+        return l1_total_bytes + l2_total_bytes + l3_total_bytes;
+    }
+};
+
+/** Table V, mobile class (iPhone 11-like). */
+inline PlatformSpec
+mobilePlatform()
+{
+    return PlatformSpec{
+        "mobile", 6, 6 * 128_KiB, 8_MiB, 0, 2, 2.61,
+    };
+}
+
+/** Table V, server class (Xeon Platinum 9222-like). */
+inline PlatformSpec
+serverPlatform()
+{
+    return PlatformSpec{
+        "server", 32, 32 * 32_KiB, 32 * 1_MiB,
+        static_cast<std::uint64_t>(2 * 35.75 * 1024 * 1024), 12, 2.61,
+    };
+}
+
+} // namespace bbb
+
+#endif // BBB_ENERGY_PLATFORM_HH

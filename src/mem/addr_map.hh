@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Flat physical address map with DRAM and NVMM ranges.
+ *
+ * Matching the paper's system (Fig. 4): the physical space is split into a
+ * volatile DRAM region and an NVMM region; a sub-range of NVMM is the
+ * *persistent* region where palloc places crash-consistent data. Stores to
+ * persistent pages are "persisting stores" and take the bbPB path; all
+ * other stores are ordinary.
+ */
+
+#ifndef BBB_MEM_ADDR_MAP_HH
+#define BBB_MEM_ADDR_MAP_HH
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+/** Kind of memory behind a physical address. */
+enum class MemKind
+{
+    Dram,
+    Nvmm,
+};
+
+/** Physical layout: [DRAM | NVMM(non-persistent) | NVMM(persistent)]. */
+class AddrMap
+{
+  public:
+    AddrMap() : AddrMap(8_GiB, 8_GiB) {}
+
+    /**
+     * @param dram_bytes size of the DRAM range starting at 0.
+     * @param nvmm_bytes size of the NVMM range following DRAM; its upper
+     *        half is the persistent region by default.
+     */
+    AddrMap(std::uint64_t dram_bytes, std::uint64_t nvmm_bytes)
+        : _dram_size(dram_bytes), _nvmm_size(nvmm_bytes),
+          _persist_base(dram_bytes + nvmm_bytes / 2)
+    {
+        BBB_ASSERT(dram_bytes > 0 && nvmm_bytes > 0, "empty memory");
+    }
+
+    static AddrMap
+    fromConfig(const SystemConfig &cfg)
+    {
+        return AddrMap(cfg.dram.size_bytes, cfg.nvmm.size_bytes);
+    }
+
+    Addr dramBase() const { return 0; }
+    std::uint64_t dramSize() const { return _dram_size; }
+
+    Addr nvmmBase() const { return _dram_size; }
+    std::uint64_t nvmmSize() const { return _nvmm_size; }
+
+    /** Base of the persistent portion of NVMM. */
+    Addr persistBase() const { return _persist_base; }
+    std::uint64_t
+    persistSize() const
+    {
+        return _dram_size + _nvmm_size - _persist_base;
+    }
+
+    Addr end() const { return _dram_size + _nvmm_size; }
+
+    bool
+    valid(Addr a) const
+    {
+        return a < end();
+    }
+
+    MemKind
+    kind(Addr a) const
+    {
+        BBB_ASSERT(valid(a), "address %#llx out of range",
+                   (unsigned long long)a);
+        return a < _dram_size ? MemKind::Dram : MemKind::Nvmm;
+    }
+
+    /** True if a store to @p a must persist (drives the bbPB path). */
+    bool
+    isPersistent(Addr a) const
+    {
+        return valid(a) && a >= _persist_base;
+    }
+
+  private:
+    std::uint64_t _dram_size;
+    std::uint64_t _nvmm_size;
+    Addr _persist_base;
+};
+
+} // namespace bbb
+
+#endif // BBB_MEM_ADDR_MAP_HH

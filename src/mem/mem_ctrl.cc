@@ -1,0 +1,184 @@
+#include "mem/mem_ctrl.hh"
+
+#include <algorithm>
+
+namespace bbb
+{
+
+MemCtrl::MemCtrl(std::string name, const MemConfig &cfg, EventQueue &eq,
+                 BackingStore &store, StatRegistry &stats)
+    : _name(std::move(name)), _cfg(cfg), _eq(eq), _store(store)
+{
+    BBB_ASSERT(_cfg.channels > 0, "controller needs >= 1 channel");
+    // A DRAM controller is configured with wpq_entries == 0; give it a
+    // conventional write queue anyway (it just is not a persistence
+    // domain -- the crash engine never drains it).
+    if (_cfg.wpq_entries == 0)
+        _cfg.wpq_entries = 64;
+    _channel_free.assign(_cfg.channels, 0);
+
+    StatGroup &g = stats.group(_name);
+    g.addCounter("media_reads", &_media_reads, "block reads from media");
+    g.addCounter("media_writes", &_media_writes, "block writes to media");
+    g.addCounter("bytes_written", &_bytes_written, "bytes written to media");
+    g.addCounter("wpq_coalesces", &_wpq_coalesces,
+                 "writes merged into a pending WPQ block");
+    g.addCounter("wpq_rejects", &_wpq_rejects,
+                 "writes rejected because the WPQ was full");
+    g.addCounter("wpq_inserts", &_wpq_inserts, "blocks accepted into WPQ");
+    g.addAverage("read_latency_ticks", &_read_latency,
+                 "average block read latency");
+}
+
+Tick
+MemCtrl::reserveChannel(unsigned channel, Tick occupancy)
+{
+    Tick start = std::max(_eq.now(), _channel_free[channel]);
+    _channel_free[channel] = start + occupancy;
+    return start;
+}
+
+Tick
+MemCtrl::readBlock(Addr addr, BlockData &out)
+{
+    Addr block = blockAlign(addr);
+
+    // Forward the freshest pending copy from the WPQ if present; this does
+    // not consume media bandwidth.
+    auto it = _wpq_index.find(block);
+    if (it != _wpq_index.end()) {
+        out = _wpq.at(it->second).data;
+        // Forwarding from the controller queue still pays most of the
+        // round trip; model it as half the media read latency.
+        Tick lat = _cfg.read_latency / 2;
+        _read_latency.sample(static_cast<double>(lat));
+        return lat;
+    }
+
+    _store.readBlock(block, out.bytes.data());
+    ++_media_reads;
+    Tick start = reserveChannel(channelOf(block), _cfg.read_occupancy);
+    Tick lat = (start - _eq.now()) + _cfg.read_latency;
+    _read_latency.sample(static_cast<double>(lat));
+    return lat;
+}
+
+bool
+MemCtrl::canAcceptWrite(Addr addr) const
+{
+    Addr block = blockAlign(addr);
+    if (_wpq_index.count(block))
+        return true; // coalesce
+    return _wpq.size() < _cfg.wpq_entries;
+}
+
+bool
+MemCtrl::enqueueWrite(Addr addr, const BlockData &data)
+{
+    Addr block = blockAlign(addr);
+
+    auto it = _wpq_index.find(block);
+    if (it != _wpq_index.end()) {
+        _wpq.at(it->second).data = data;
+        ++_wpq_coalesces;
+        return true;
+    }
+
+    if (_wpq.size() >= _cfg.wpq_entries) {
+        ++_wpq_rejects;
+        return false;
+    }
+
+    std::uint64_t seq = _next_seq++;
+    WpqEntry entry;
+    entry.addr = block;
+    entry.data = data;
+    _wpq.emplace(seq, std::move(entry));
+    _wpq_index.emplace(block, seq);
+    ++_wpq_inserts;
+    scheduleRetire();
+    return true;
+}
+
+void
+MemCtrl::scheduleRetire()
+{
+    // Start a media write for every pending entry: writes pipeline on
+    // their channels (the occupancy serialises bandwidth; each write
+    // completes a full write latency after it starts).
+    for (auto &kv : _wpq) {
+        if (kv.second.retiring)
+            continue;
+        kv.second.retiring = true;
+        ++_retiring;
+        std::uint64_t seq = kv.first;
+        Tick start =
+            reserveChannel(channelOf(kv.second.addr), _cfg.write_occupancy);
+        _eq.schedule(
+            start + _cfg.write_latency,
+            [this, seq]() { completeRetire(seq); },
+            EventPriority::MemResponse);
+    }
+}
+
+void
+MemCtrl::completeRetire(std::uint64_t seq)
+{
+    auto it = _wpq.find(seq);
+    BBB_ASSERT(it != _wpq.end(), "retired WPQ entry vanished");
+    const WpqEntry &e = it->second;
+    _store.writeBlock(e.addr, e.data.bytes.data());
+    ++_media_writes;
+    _bytes_written += kBlockSize;
+    _wpq_index.erase(e.addr);
+    _wpq.erase(it);
+    --_retiring;
+    scheduleRetire();
+}
+
+void
+MemCtrl::forceWrite(Addr addr, const BlockData &data)
+{
+    Addr block = blockAlign(addr);
+    // If the block is pending in the WPQ, coalesce there instead so a
+    // later retirement cannot overwrite this value with an older one.
+    auto it = _wpq_index.find(block);
+    if (it != _wpq_index.end()) {
+        _wpq.at(it->second).data = data;
+        ++_wpq_coalesces;
+        return;
+    }
+    _store.writeBlock(block, data.bytes.data());
+    ++_media_writes;
+    _bytes_written += kBlockSize;
+}
+
+void
+MemCtrl::peekBlock(Addr addr, BlockData &out) const
+{
+    Addr block = blockAlign(addr);
+    auto it = _wpq_index.find(block);
+    if (it != _wpq_index.end()) {
+        out = _wpq.at(it->second).data;
+        return;
+    }
+    _store.readBlock(block, out.bytes.data());
+}
+
+std::size_t
+MemCtrl::drainAllToMedia()
+{
+    std::size_t n = 0;
+    for (const auto &kv : _wpq) {
+        _store.writeBlock(kv.second.addr, kv.second.data.bytes.data());
+        ++_media_writes;
+        _bytes_written += kBlockSize;
+        ++n;
+    }
+    _wpq.clear();
+    _wpq_index.clear();
+    _retiring = 0;
+    return n;
+}
+
+} // namespace bbb

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Memory controller with a write-pending queue (WPQ) and a banked media
+ * timing model.
+ *
+ * The NVMM controller's WPQ is the ADR persistence domain: a block accepted
+ * into the WPQ is durable (it will drain on power failure). Media writes
+ * retire from the WPQ through per-channel bandwidth; blocks are interleaved
+ * across channels at cache-block granularity.
+ *
+ * The same class models the DRAM controller (no WPQ persistence semantics,
+ * writes are accepted unconditionally and retire through channel timing).
+ */
+
+#ifndef BBB_MEM_MEM_CTRL_HH
+#define BBB_MEM_MEM_CTRL_HH
+
+#include <array>
+#include <cstring>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+/** A 64-byte block travelling through the memory system. */
+struct BlockData
+{
+    std::array<unsigned char, kBlockSize> bytes{};
+
+    void
+    copyFrom(const void *src)
+    {
+        std::memcpy(bytes.data(), src, kBlockSize);
+    }
+
+    void
+    copyTo(void *dst) const
+    {
+        std::memcpy(dst, bytes.data(), kBlockSize);
+    }
+};
+
+/**
+ * One memory controller (DRAM or NVMM).
+ *
+ * Timing: each channel is a resource with a next-free tick; a read or a
+ * media write occupies its block's channel for the configured latency.
+ * Reads are modelled as latency returned to the caller; media writes are
+ * asynchronous retirements from the WPQ.
+ */
+class MemCtrl
+{
+  public:
+    MemCtrl(std::string name, const MemConfig &cfg, EventQueue &eq,
+            BackingStore &store, StatRegistry &stats);
+
+    /** --- Read path ------------------------------------------------- */
+
+    /**
+     * Compute the latency of reading the block at @p addr now, reserving
+     * channel bandwidth, and fetch its current content (WPQ-forwarded if
+     * pending) into @p out.
+     */
+    Tick readBlock(Addr addr, BlockData &out);
+
+    /** --- Write path ------------------------------------------------ */
+
+    /**
+     * Offer a block to the WPQ.
+     * @return false if the WPQ is full (caller must retry); on success the
+     *         block is durable (for the NVMM controller) and will retire
+     *         to media asynchronously. Writes to a block already pending
+     *         coalesce in place.
+     */
+    bool enqueueWrite(Addr addr, const BlockData &data);
+
+    /** True if a subsequent enqueueWrite() would be accepted. */
+    bool canAcceptWrite(Addr addr) const;
+
+    /**
+     * Commit a block to media immediately, bypassing the WPQ. Used by the
+     * hierarchy when an eviction writeback finds the WPQ full (the stall
+     * is charged as latency by the caller) and by flush-on-fail drains.
+     */
+    void forceWrite(Addr addr, const BlockData &data);
+
+    /** Freshest content of a block (WPQ-forwarded), no timing effect. */
+    void peekBlock(Addr addr, BlockData &out) const;
+
+    /** Number of blocks currently pending in the WPQ. */
+    std::size_t wpqOccupancy() const { return _wpq.size(); }
+
+    /** --- Crash support ---------------------------------------------- */
+
+    /**
+     * Flush-on-fail: apply every pending WPQ block to media immediately
+     * (functionally) and return the number of blocks drained.
+     */
+    std::size_t drainAllToMedia();
+
+    /** --- Stats ------------------------------------------------------ */
+
+    std::uint64_t mediaWrites() const { return _media_writes.value(); }
+    std::uint64_t mediaReads() const { return _media_reads.value(); }
+
+    const std::string &name() const { return _name; }
+
+  private:
+    /** Channel a block maps to. */
+    unsigned
+    channelOf(Addr addr) const
+    {
+        return static_cast<unsigned>((addr >> kBlockShift) %
+                                     _cfg.channels);
+    }
+
+    /** Reserve @p busy ticks on @p channel starting no earlier than now;
+     *  returns the completion tick. */
+    Tick reserveChannel(unsigned channel, Tick busy);
+
+    /** Start media writes for the oldest pending entries, one per free
+     *  channel slot. */
+    void scheduleRetire();
+
+    /** Media write for entry @p seq finished: commit it to the store. */
+    void completeRetire(std::uint64_t seq);
+
+    struct WpqEntry
+    {
+        Addr addr;
+        BlockData data;
+        bool retiring = false;
+    };
+
+    std::string _name;
+    MemConfig _cfg;
+    EventQueue &_eq;
+    BackingStore &_store;
+
+    /**
+     * Pending writes in FIFO (sequence) order; std::map iteration order is
+     * insertion order because sequence numbers only grow. An address index
+     * supports coalescing and read forwarding.
+     */
+    std::map<std::uint64_t, WpqEntry> _wpq;
+    std::unordered_map<Addr, std::uint64_t> _wpq_index;
+    std::uint64_t _next_seq = 0;
+    unsigned _retiring = 0;
+
+    std::vector<Tick> _channel_free;
+
+    StatCounter _media_reads;
+    StatCounter _media_writes;
+    StatCounter _bytes_written;
+    StatCounter _wpq_coalesces;
+    StatCounter _wpq_rejects;
+    StatCounter _wpq_inserts;
+    StatAverage _read_latency;
+};
+
+} // namespace bbb
+
+#endif // BBB_MEM_MEM_CTRL_HH

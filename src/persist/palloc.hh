@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Persistent heap allocator over the simulated NVMM persistent range.
+ *
+ * Models the paper's assumption that persistent data lives in pages
+ * allocated by a persistent allocator (palloc): everything this heap hands
+ * out maps to the persistent portion of the physical address space, so
+ * stores to it are persisting stores.
+ *
+ * Layout:
+ *   persistBase() + 0        : 8-byte magic
+ *   persistBase() + 8        : 16 root pointer slots (8 B each)
+ *   persistBase() + 4 KiB    : per-arena bump regions
+ *
+ * The bump frontiers themselves are volatile simulator metadata: the
+ * workloads' recovery procedures navigate from the root slots only, which
+ * is how the paper's recovery code is written too.
+ */
+
+#ifndef BBB_PERSIST_PALLOC_HH
+#define BBB_PERSIST_PALLOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/addr_map.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+/** Bump allocator in the persistent address range, one arena per thread. */
+class PersistentHeap
+{
+  public:
+    static constexpr std::uint64_t kMagic = 0xBBB0'0001'CAFE'F00Dull;
+    static constexpr unsigned kRootSlots = 16;
+    static constexpr std::uint64_t kHeaderBytes = 4096;
+
+    PersistentHeap(const AddrMap &map, unsigned arenas)
+        : _map(map), _arenas(arenas)
+    {
+        BBB_ASSERT(arenas > 0, "heap needs at least one arena");
+        Addr base = map.persistBase() + kHeaderBytes;
+        std::uint64_t usable = map.persistSize() - kHeaderBytes;
+        _arena_size = usable / arenas;
+        _frontiers.reserve(arenas);
+        for (unsigned a = 0; a < arenas; ++a)
+            _frontiers.push_back(base + a * _arena_size);
+    }
+
+    /** Address of the magic word. */
+    Addr magicAddr() const { return _map.persistBase(); }
+
+    /** Address of root pointer slot @p slot. */
+    Addr
+    rootAddr(unsigned slot) const
+    {
+        BBB_ASSERT(slot < kRootSlots, "root slot %u out of range", slot);
+        return _map.persistBase() + 8 + slot * 8ull;
+    }
+
+    /**
+     * Allocate @p bytes in @p arena with the given alignment. Pure
+     * metadata operation: no simulated memory traffic (the caller's
+     * stores initialise the object).
+     */
+    Addr
+    alloc(unsigned arena, std::uint64_t bytes, std::uint64_t align = 8)
+    {
+        BBB_ASSERT(arena < _arenas, "arena %u out of range", arena);
+        BBB_ASSERT(bytes > 0, "zero-byte allocation");
+        Addr &frontier = _frontiers[arena];
+        Addr a = (frontier + align - 1) & ~(align - 1);
+        // Keep sub-block objects within one cache block so the workloads'
+        // <=8-byte accesses never straddle blocks.
+        if (bytes <= kBlockSize &&
+            blockAlign(a) != blockAlign(a + bytes - 1)) {
+            a = blockAlign(a) + kBlockSize;
+        }
+        Addr limit = arenaBase(arena) + _arena_size;
+        BBB_ASSERT(a + bytes <= limit, "arena %u exhausted", arena);
+        frontier = a + bytes;
+        return a;
+    }
+
+    Addr
+    arenaBase(unsigned arena) const
+    {
+        return _map.persistBase() + kHeaderBytes + arena * _arena_size;
+    }
+
+    std::uint64_t arenaSize() const { return _arena_size; }
+    unsigned arenas() const { return _arenas; }
+
+    /** Bytes allocated so far in an arena. */
+    std::uint64_t
+    allocated(unsigned arena) const
+    {
+        return _frontiers.at(arena) - arenaBase(arena);
+    }
+
+  private:
+    const AddrMap &_map;
+    unsigned _arenas;
+    std::uint64_t _arena_size;
+    std::vector<Addr> _frontiers;
+};
+
+} // namespace bbb
+
+#endif // BBB_PERSIST_PALLOC_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Post-crash NVMM image access for recovery procedures.
+ *
+ * After the crash engine applies the flush-on-fail drains, the backing
+ * store holds exactly the bytes that survived the failure. Recovery code
+ * (workload consistency checkers, example programs) reads the image
+ * through this wrapper, which has no timing model: recovery runs on the
+ * machine after reboot.
+ */
+
+#ifndef BBB_PERSIST_RECOVERY_HH
+#define BBB_PERSIST_RECOVERY_HH
+
+#include <cstdint>
+
+#include "mem/addr_map.hh"
+#include "mem/backing_store.hh"
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+/** Read-only view of the post-crash persistent memory image. */
+class PmemImage
+{
+  public:
+    PmemImage(const BackingStore &store, const AddrMap &map)
+        : _store(store), _map(map)
+    {
+    }
+
+    std::uint64_t read64(Addr a) const { return _store.read64(a); }
+
+    std::uint32_t
+    read32(Addr a) const
+    {
+        std::uint32_t v = 0;
+        _store.read(a, &v, sizeof(v));
+        return v;
+    }
+
+    void
+    read(Addr a, void *out, std::size_t size) const
+    {
+        _store.read(a, out, size);
+    }
+
+    const AddrMap &addrMap() const { return _map; }
+
+    /** True if @p a points into the persistent range (sanity checks). */
+    bool
+    validPersistent(Addr a) const
+    {
+        return _map.valid(a) && _map.isPersistent(a);
+    }
+
+  private:
+    const BackingStore &_store;
+    const AddrMap &_map;
+};
+
+/** Outcome of a workload's recovery consistency check. */
+struct RecoveryResult
+{
+    /** Objects examined while walking from the roots. */
+    std::uint64_t checked = 0;
+    /** Objects whose integrity check passed. */
+    std::uint64_t intact = 0;
+    /** Objects reachable from a root but torn/unpersisted. */
+    std::uint64_t torn = 0;
+    /** Dangling pointers (outside the persistent range / wild). */
+    std::uint64_t dangling = 0;
+
+    bool
+    consistent() const
+    {
+        return torn == 0 && dangling == 0;
+    }
+};
+
+} // namespace bbb
+
+#endif // BBB_PERSIST_RECOVERY_HH

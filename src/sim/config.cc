@@ -1,0 +1,38 @@
+#include "sim/config.hh"
+
+namespace bbb
+{
+
+const char *
+persistModeName(PersistMode m)
+{
+    switch (m) {
+      case PersistMode::AdrPmem:
+        return "adr-pmem";
+      case PersistMode::AdrUnsafe:
+        return "adr-unsafe";
+      case PersistMode::Eadr:
+        return "eadr";
+      case PersistMode::BbbMemSide:
+        return "bbb-mem-side";
+      case PersistMode::BbbProcSide:
+        return "bbb-proc-side";
+    }
+    return "unknown";
+}
+
+const char *
+drainPolicyName(DrainPolicy p)
+{
+    switch (p) {
+      case DrainPolicy::Fcfs:
+        return "fcfs";
+      case DrainPolicy::Lrw:
+        return "lrw";
+      case DrainPolicy::Random:
+        return "random";
+    }
+    return "unknown";
+}
+
+} // namespace bbb

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Deterministic discrete-event queue driving the whole simulator.
+ *
+ * Events are callbacks scheduled at an absolute tick with a priority.
+ * Events at the same (tick, priority) fire in scheduling (FIFO) order so a
+ * run is fully reproducible for a given configuration and seed.
+ */
+
+#ifndef BBB_SIM_EVENT_QUEUE_HH
+#define BBB_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+/**
+ * Relative ordering of events that fire at the same tick. Lower values run
+ * first. These buckets make the memory-system pipeline deterministic: e.g.
+ * drains complete before new core ops observe buffer occupancy.
+ */
+enum class EventPriority : int
+{
+    DrainComplete = 0,
+    MemResponse = 1,
+    CacheOp = 2,
+    CoreOp = 3,
+    Default = 4,
+    Stats = 5,
+};
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Discrete-event queue with cancellation and deterministic ordering. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb at absolute tick @p when.
+     * @return an id usable with deschedule().
+     */
+    EventId
+    schedule(Tick when, Callback cb,
+             EventPriority prio = EventPriority::Default)
+    {
+        BBB_ASSERT(when >= _now, "scheduling into the past (%llu < %llu)",
+                   (unsigned long long)when, (unsigned long long)_now);
+        EventId id = _nextId++;
+        _heap.push(Entry{when, static_cast<int>(prio), id, std::move(cb)});
+        ++_pending;
+        return id;
+    }
+
+    /** Schedule @p cb @p delta ticks from now. */
+    EventId
+    scheduleIn(Tick delta, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(_now + delta, std::move(cb), prio);
+    }
+
+    /** Cancel a previously scheduled event. Safe if already fired. */
+    void
+    deschedule(EventId id)
+    {
+        if (_cancelled.size() <= id)
+            _cancelled.resize(id + 1, false);
+        if (!_cancelled[id])
+            _cancelled[id] = true;
+    }
+
+    /** Number of events still scheduled (including cancelled ones). */
+    std::size_t pending() const { return _pending; }
+
+    /** True if no runnable events remain. */
+    bool empty() const { return _heap.empty(); }
+
+    /**
+     * Run events until the queue is empty or @p maxTick is passed.
+     * @return the tick of the last event executed.
+     */
+    Tick
+    run(Tick maxTick = kMaxTick)
+    {
+        while (!_heap.empty()) {
+            const Entry &top = _heap.top();
+            if (top.when > maxTick)
+                break;
+            Entry e = top;
+            _heap.pop();
+            --_pending;
+            if (isCancelled(e.id))
+                continue;
+            BBB_ASSERT(e.when >= _now, "event queue went backwards");
+            _now = e.when;
+            ++_executed;
+            e.cb();
+        }
+        return _now;
+    }
+
+    /** Run a single event; returns false if none runnable. */
+    bool
+    step()
+    {
+        while (!_heap.empty()) {
+            Entry e = _heap.top();
+            _heap.pop();
+            --_pending;
+            if (isCancelled(e.id))
+                continue;
+            _now = e.when;
+            ++_executed;
+            e.cb();
+            return true;
+        }
+        return false;
+    }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.id > b.id;
+        }
+    };
+
+    bool
+    isCancelled(EventId id) const
+    {
+        return id < _cancelled.size() && _cancelled[id];
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    std::vector<bool> _cancelled;
+    Tick _now = 0;
+    EventId _nextId = 0;
+    std::size_t _pending = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace bbb
+
+#endif // BBB_SIM_EVENT_QUEUE_HH

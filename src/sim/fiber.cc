@@ -1,0 +1,73 @@
+#include "sim/fiber.hh"
+
+#include "sim/logging.hh"
+
+namespace bbb
+{
+
+namespace
+{
+/** Fiber currently executing, or nullptr when in the scheduler. */
+thread_local Fiber *gCurrent = nullptr;
+} // namespace
+
+Fiber::Fiber(Body body, std::size_t stack_bytes)
+    : _stack(stack_bytes), _body(std::move(body))
+{
+    BBB_ASSERT(stack_bytes >= 16 * 1024, "fiber stack too small");
+}
+
+Fiber::~Fiber()
+{
+    // A fiber destroyed while suspended simply abandons its stack; that is
+    // fine as long as the body holds no resources needing unwinding. The
+    // simulator only destroys fibers after completion or at teardown.
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = gCurrent;
+    self->_body();
+    self->_finished = true;
+    // Return to the most recent resumer; never come back.
+    swapcontext(&self->_context, &self->_caller);
+}
+
+void
+Fiber::resume()
+{
+    BBB_ASSERT(!_finished, "resuming a finished fiber");
+    BBB_ASSERT(gCurrent == nullptr, "nested fiber resume not supported");
+
+    if (!_started) {
+        _started = true;
+        getcontext(&_context);
+        _context.uc_stack.ss_sp = _stack.data();
+        _context.uc_stack.ss_size = _stack.size();
+        _context.uc_link = nullptr;
+        makecontext(&_context, reinterpret_cast<void (*)()>(&trampoline), 0);
+    }
+
+    gCurrent = this;
+    swapcontext(&_caller, &_context);
+    gCurrent = nullptr;
+}
+
+void
+Fiber::yield()
+{
+    Fiber *self = gCurrent;
+    BBB_ASSERT(self != nullptr, "Fiber::yield outside a fiber");
+    gCurrent = nullptr;
+    swapcontext(&self->_context, &self->_caller);
+    gCurrent = self;
+}
+
+bool
+Fiber::inFiber()
+{
+    return gCurrent != nullptr;
+}
+
+} // namespace bbb

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Stackful coroutines ("fibers") for execution-driven simulation.
+ *
+ * Each simulated software thread runs on its own fiber so that workload
+ * code can be ordinary C++ (function calls, loops, recursion) and still
+ * suspend whenever it issues a simulated memory operation. The scheduler
+ * (the core model) resumes the fiber when the operation's latency has
+ * elapsed in simulated time.
+ *
+ * Implementation uses POSIX ucontext, which is available on the Linux
+ * targets this simulator supports.
+ */
+
+#ifndef BBB_SIM_FIBER_HH
+#define BBB_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace bbb
+{
+
+/**
+ * A cooperatively scheduled coroutine with its own stack.
+ *
+ * Lifecycle: constructed with a body; resume() switches into it; inside the
+ * body, Fiber::yield() switches back to the resumer. When the body returns
+ * the fiber becomes finished() and further resume() calls are errors.
+ */
+class Fiber
+{
+  public:
+    using Body = std::function<void()>;
+
+    /** @param stack_bytes stack size; workloads with recursion (rtree)
+     *  need a comfortable margin, so default generously. */
+    explicit Fiber(Body body, std::size_t stack_bytes = 256 * 1024);
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /** Switch into the fiber until it yields or finishes. */
+    void resume();
+
+    /** Called from inside a fiber body: switch back to the resumer. */
+    static void yield();
+
+    /** True once the body has returned. */
+    bool finished() const { return _finished; }
+
+    /** True if called from inside any fiber body. */
+    static bool inFiber();
+
+  private:
+    static void trampoline();
+
+    ucontext_t _context;
+    ucontext_t _caller;
+    std::vector<unsigned char> _stack;
+    Body _body;
+    bool _started = false;
+    bool _finished = false;
+};
+
+} // namespace bbb
+
+#endif // BBB_SIM_FIBER_HH

@@ -1,0 +1,93 @@
+#include "sim/logging.hh"
+
+#include <cstdarg>
+
+namespace bbb
+{
+
+namespace
+{
+LogLevel gLevel = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+setLogLevel(LogLevel lvl)
+{
+    gLevel = lvl;
+}
+
+void
+logVPrint(const char *prefix, const char *fmt, std::va_list ap)
+{
+    std::fprintf(stderr, "%s: ", prefix);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+void
+assertFailLocation(const char *cond, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d\n", cond,
+                 file, line);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    logVPrint("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    logVPrint("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Warn)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    logVPrint("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Info)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    logVPrint("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Debug)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    logVPrint("debug", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace bbb

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A small, fast xoshiro256** implementation so simulation results do not
+ * depend on the standard library's unspecified distribution algorithms.
+ */
+
+#ifndef BBB_SIM_RNG_HH
+#define BBB_SIM_RNG_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace bbb
+{
+
+/** xoshiro256** PRNG with a splitmix64 seeder. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x8bb0cafe12345678ull) { reseed(seed); }
+
+    /** Re-initialise state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : _s)
+            word = splitmix64(x);
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        const std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        BBB_ASSERT(bound > 0, "Rng::below(0)");
+        // Unbiased rejection sampling (Lemire-style threshold).
+        std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        BBB_ASSERT(lo <= hi, "Rng::range lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t _s[4];
+};
+
+} // namespace bbb
+
+#endif // BBB_SIM_RNG_HH

@@ -1,0 +1,86 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace bbb
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    auto line = [&](const std::string &n, double v, const std::string &d) {
+        os << std::left << std::setw(44) << (_name + "." + n) << " "
+           << std::right << std::setw(16) << v;
+        if (!d.empty())
+            os << "  # " << d;
+        os << "\n";
+    };
+
+    for (const auto &c : _counters)
+        line(c.name, static_cast<double>(c.stat->value()), c.desc);
+    for (const auto &a : _averages)
+        line(a.name, a.stat->mean(), a.desc);
+    for (const auto &h : _histograms) {
+        line(h.name + "::samples", static_cast<double>(h.stat->samples()),
+             h.desc);
+        line(h.name + "::mean", h.stat->mean(), "");
+        line(h.name + "::max", static_cast<double>(h.stat->maxSample()), "");
+    }
+}
+
+void
+StatGroup::reset()
+{
+    for (const auto &c : _counters)
+        c.stat->reset();
+    for (const auto &a : _averages)
+        a.stat->reset();
+    for (const auto &h : _histograms)
+        h.stat->reset();
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &stat_name) const
+{
+    for (const auto &c : _counters) {
+        if (c.name == stat_name)
+            return c.stat->value();
+    }
+    return 0;
+}
+
+StatGroup &
+StatRegistry::group(const std::string &name)
+{
+    auto it = _groups.find(name);
+    if (it == _groups.end()) {
+        it = _groups.emplace(name, StatGroup(name)).first;
+        _order.push_back(name);
+    }
+    return it->second;
+}
+
+void
+StatRegistry::dumpAll(std::ostream &os) const
+{
+    for (const auto &name : _order)
+        _groups.at(name).dump(os);
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &kv : _groups)
+        kv.second.reset();
+}
+
+std::uint64_t
+StatRegistry::lookup(const std::string &g, const std::string &s) const
+{
+    auto it = _groups.find(g);
+    if (it == _groups.end())
+        return 0;
+    return it->second.counterValue(s);
+}
+
+} // namespace bbb

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * A light statistics package: named scalar counters, averages, and
+ * histograms registered into per-component groups, with a text reporter.
+ *
+ * Modeled loosely on the gem5 stats framework but simplified: stats are
+ * plain objects owned by components; a StatGroup records (name, pointer)
+ * pairs for dumping and reset.
+ */
+
+#ifndef BBB_SIM_STATS_HH
+#define BBB_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace bbb
+{
+
+/** Monotonically increasing (or arbitrarily set) scalar statistic. */
+class StatCounter
+{
+  public:
+    StatCounter() = default;
+
+    StatCounter &operator++() { ++_value; return *this; }
+    StatCounter &operator+=(std::uint64_t v) { _value += v; return *this; }
+
+    void set(std::uint64_t v) { _value = v; }
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running average (sum / count). */
+class StatAverage
+{
+  public:
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+
+    void
+    reset()
+    {
+        _sum = 0.0;
+        _count = 0;
+    }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+};
+
+/** Fixed-bucket histogram over [0, max) plus an overflow bucket. */
+class StatHistogram
+{
+  public:
+    StatHistogram() : StatHistogram(16, 16) {}
+
+    /** @p buckets buckets of width @p bucket_width, plus overflow. */
+    StatHistogram(unsigned buckets, std::uint64_t bucket_width)
+        : _width(bucket_width), _counts(buckets + 1, 0)
+    {
+        BBB_ASSERT(buckets > 0 && bucket_width > 0, "bad histogram shape");
+    }
+
+    void
+    sample(std::uint64_t v)
+    {
+        std::size_t idx = static_cast<std::size_t>(v / _width);
+        if (idx >= _counts.size() - 1)
+            idx = _counts.size() - 1;
+        ++_counts[idx];
+        ++_samples;
+        _sum += v;
+        _max = std::max(_max, v);
+    }
+
+    std::uint64_t samples() const { return _samples; }
+    std::uint64_t maxSample() const { return _max; }
+    double mean() const
+    {
+        return _samples ? static_cast<double>(_sum) / _samples : 0.0;
+    }
+
+    std::uint64_t bucketCount(std::size_t i) const { return _counts.at(i); }
+    std::size_t buckets() const { return _counts.size(); }
+    std::uint64_t bucketWidth() const { return _width; }
+
+    void
+    reset()
+    {
+        std::fill(_counts.begin(), _counts.end(), 0);
+        _samples = 0;
+        _sum = 0;
+        _max = 0;
+    }
+
+  private:
+    std::uint64_t _width;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _samples = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _max = 0;
+};
+
+/**
+ * A named collection of statistics belonging to one component. The group
+ * does not own the stats; components keep them as members and register
+ * pointers, so hot-path updates stay a plain increment.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    void
+    addCounter(const std::string &stat_name, StatCounter *c,
+               const std::string &desc = "")
+    {
+        _counters.push_back({stat_name, desc, c});
+    }
+
+    void
+    addAverage(const std::string &stat_name, StatAverage *a,
+               const std::string &desc = "")
+    {
+        _averages.push_back({stat_name, desc, a});
+    }
+
+    void
+    addHistogram(const std::string &stat_name, StatHistogram *h,
+                 const std::string &desc = "")
+    {
+        _histograms.push_back({stat_name, desc, h});
+    }
+
+    const std::string &name() const { return _name; }
+
+    /** Write `group.stat value # desc` lines, gem5 stats.txt style. */
+    void dump(std::ostream &os) const;
+
+    /** Zero every registered stat. */
+    void reset();
+
+    /** Look up a counter's current value by name; 0 if absent. */
+    std::uint64_t counterValue(const std::string &stat_name) const;
+
+  private:
+    template <typename T>
+    struct Named
+    {
+        std::string name;
+        std::string desc;
+        T *stat;
+    };
+
+    std::string _name;
+    std::vector<Named<StatCounter>> _counters;
+    std::vector<Named<StatAverage>> _averages;
+    std::vector<Named<StatHistogram>> _histograms;
+};
+
+/** Registry of all stat groups in a simulated system. */
+class StatRegistry
+{
+  public:
+    /** Create (or fetch) the group with the given name. */
+    StatGroup &group(const std::string &name);
+
+    /** Dump every group in registration order. */
+    void dumpAll(std::ostream &os) const;
+
+    /** Reset every group. */
+    void resetAll();
+
+    /** Convenience: `group(g).counterValue(s)`; 0 if group absent. */
+    std::uint64_t lookup(const std::string &g, const std::string &s) const;
+
+  private:
+    std::vector<std::string> _order;
+    std::map<std::string, StatGroup> _groups;
+};
+
+} // namespace bbb
+
+#endif // BBB_SIM_STATS_HH

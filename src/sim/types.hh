@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers used throughout the simulator.
+ *
+ * The simulator counts time in *ticks*, where one tick is one picosecond.
+ * The default core clock is 2 GHz (500 ticks per cycle), matching the
+ * configuration in Table III of the BBB paper (HPCA 2021).
+ */
+
+#ifndef BBB_SIM_TYPES_HH
+#define BBB_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace bbb
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Physical byte address in the simulated flat address space. */
+using Addr = std::uint64_t;
+
+/** Core / hardware-thread identifier. */
+using CoreId = std::uint32_t;
+
+/** Sentinel for "no tick" / "never". */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel address. */
+constexpr Addr kBadAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel core id (e.g. "no owner"). */
+constexpr CoreId kNoCore = std::numeric_limits<CoreId>::max();
+
+/** Ticks per nanosecond (tick = 1 ps). */
+constexpr Tick kTicksPerNs = 1000;
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * kTicksPerNs);
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / kTicksPerNs;
+}
+
+/** Cache block size used everywhere (bytes). */
+constexpr unsigned kBlockSize = 64;
+
+/** Log2 of the block size. */
+constexpr unsigned kBlockShift = 6;
+
+/** Align an address down to its cache-block base. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kBlockSize - 1);
+}
+
+/** Byte offset of an address within its cache block. */
+constexpr unsigned
+blockOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (kBlockSize - 1));
+}
+
+/** True if [addr, addr+size) lies within one cache block. */
+constexpr bool
+withinBlock(Addr addr, unsigned size)
+{
+    return blockAlign(addr) == blockAlign(addr + size - 1);
+}
+
+/** Kibibytes/mebibytes helpers for configuration literals. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v * 1024ull;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v * 1024ull * 1024ull;
+}
+
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v * 1024ull * 1024ull * 1024ull;
+}
+
+} // namespace bbb
+
+#endif // BBB_SIM_TYPES_HH

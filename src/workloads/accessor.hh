@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Memory accessor abstraction for workload data-structure code.
+ *
+ * Workload logic (tree inserts, hash chains, ...) is written once against
+ * MemAccessor and reused in two bindings:
+ *
+ *  - TcAccessor: timed execution through a ThreadContext (the measured
+ *    run; writeBack/persistBarrier map to the persistency instructions,
+ *    which the mode may turn into no-ops).
+ *  - ImageAccessor: functional execution directly against the backing
+ *    store (workload warm-up / pre-building, like a simulator
+ *    fast-forward phase).
+ */
+
+#ifndef BBB_WORKLOADS_ACCESSOR_HH
+#define BBB_WORKLOADS_ACCESSOR_HH
+
+#include <cstdint>
+
+#include "cpu/core.hh"
+#include "mem/backing_store.hh"
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+/** Abstract 64-bit memory access interface for workload code. */
+class MemAccessor
+{
+  public:
+    virtual ~MemAccessor() = default;
+
+    virtual std::uint64_t ld(Addr a) = 0;
+    virtual void st(Addr a, std::uint64_t v) = 0;
+
+    /** Persistency instructions; no-ops in the functional binding. */
+    virtual void wb(Addr) {}
+    virtual void barrier() {}
+
+    /** Convenience: persist one just-written object (PMEM style). */
+    void
+    persistObject(Addr base, std::uint64_t bytes)
+    {
+        for (Addr b = blockAlign(base); b < base + bytes; b += kBlockSize)
+            wb(b);
+        barrier();
+    }
+};
+
+/** Timed accessor: every access goes through the core model. */
+class TcAccessor : public MemAccessor
+{
+  public:
+    explicit TcAccessor(ThreadContext &tc) : _tc(tc) {}
+
+    std::uint64_t ld(Addr a) override { return _tc.load64(a); }
+    void st(Addr a, std::uint64_t v) override { _tc.store64(a, v); }
+    void wb(Addr a) override { _tc.writeBack(a); }
+    void barrier() override { _tc.persistBarrier(); }
+
+    ThreadContext &tc() { return _tc; }
+
+  private:
+    ThreadContext &_tc;
+};
+
+/** Functional accessor: reads/writes the media image directly. */
+class ImageAccessor : public MemAccessor
+{
+  public:
+    explicit ImageAccessor(BackingStore &store) : _store(store) {}
+
+    std::uint64_t ld(Addr a) override { return _store.read64(a); }
+    void st(Addr a, std::uint64_t v) override { _store.write64(a, v); }
+
+  private:
+    BackingStore &_store;
+};
+
+/** 64-bit mixer used for keys and integrity checksums. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Checksum binding a node's payload fields together. */
+inline std::uint64_t
+nodeChecksum(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0)
+{
+    return mix64(a ^ mix64(b) ^ mix64(c) ^ 0xbbbb'5eed'0123'4567ull);
+}
+
+} // namespace bbb
+
+#endif // BBB_WORKLOADS_ACCESSOR_HH

@@ -1,0 +1,81 @@
+#include "workloads/array_ops.hh"
+
+namespace bbb
+{
+
+const char *
+ArrayWorkload::name() const
+{
+    if (_op == Op::Mutate)
+        return _conflicting ? "mutateC" : "mutateNC";
+    return _conflicting ? "swapC" : "swapNC";
+}
+
+void
+ArrayWorkload::prepare(System &sys)
+{
+    _sys = &sys;
+    _first = firstThread();
+    _end = endThread(sys);
+
+    _base = sys.heap().alloc(_first, _p.array_elements * 8, kBlockSize);
+    ImageAccessor img(sys.image());
+    img.st(sys.heap().rootAddr(_first), _base);
+    for (std::uint64_t i = 0; i < _p.array_elements; ++i)
+        img.st(elemAddr(i), encode(static_cast<std::uint32_t>(i)));
+}
+
+void
+ArrayWorkload::runThread(ThreadContext &tc, unsigned tid)
+{
+    TcAccessor m(tc);
+    std::uint64_t n = _p.array_elements;
+    std::uint64_t slice = n / (_end - _first);
+    std::uint64_t lo = _conflicting ? 0 : (tid - _first) * slice;
+    std::uint64_t span = _conflicting ? n : slice;
+
+    for (std::uint64_t i = 0; i < _p.ops_per_thread; ++i) {
+        if (_op == Op::Mutate) {
+            std::uint64_t idx = lo + tc.rng().below(span);
+            std::uint64_t v = m.ld(elemAddr(idx));
+            auto payload = static_cast<std::uint32_t>(v >> 32);
+            m.st(elemAddr(idx), encode(payload * 2654435761u + 1));
+            m.wb(elemAddr(idx));
+            m.barrier();
+        } else {
+            std::uint64_t a = lo + tc.rng().below(span);
+            std::uint64_t b = lo + tc.rng().below(span);
+            std::uint64_t va = m.ld(elemAddr(a));
+            std::uint64_t vb = m.ld(elemAddr(b));
+            m.st(elemAddr(a), vb);
+            m.wb(elemAddr(a));
+            m.barrier();
+            m.st(elemAddr(b), va);
+            m.wb(elemAddr(b));
+            m.barrier();
+        }
+        if (_p.compute_cycles)
+            tc.compute(_p.compute_cycles);
+    }
+}
+
+RecoveryResult
+ArrayWorkload::checkRecovery(const PmemImage &img) const
+{
+    RecoveryResult res;
+    Addr base = img.read64(_sys->heap().rootAddr(_first));
+    if (base == 0 || !img.validPersistent(base)) {
+        ++res.dangling;
+        return res;
+    }
+    for (std::uint64_t i = 0; i < _p.array_elements; ++i) {
+        ++res.checked;
+        if (validate(img.read64(base + i * 8)))
+            ++res.intact;
+        else
+            ++res.torn;
+    }
+    return res;
+}
+
+} // namespace bbb

@@ -1,0 +1,280 @@
+#include "workloads/btree.hh"
+
+namespace bbb
+{
+
+namespace
+{
+
+constexpr unsigned kFanout = BtreeWorkload::kFanout;
+constexpr std::uint64_t kKeysOff = BtreeWorkload::kKeysOff;
+constexpr std::uint64_t kChildOff = BtreeWorkload::kChildOff;
+constexpr std::uint64_t kNodeBytes = BtreeWorkload::kNodeBytes;
+constexpr unsigned kMaxDepth = 48;
+
+Addr
+keyAddr(Addr node, unsigned i)
+{
+    return node + kKeysOff + 16ull * i;
+}
+
+Addr
+childAddr(Addr node, unsigned i)
+{
+    return node + kChildOff + 8ull * i;
+}
+
+std::uint64_t
+metaWord(bool is_leaf, unsigned count)
+{
+    return (static_cast<std::uint64_t>(is_leaf) << 32) | count;
+}
+
+bool
+metaIsLeaf(std::uint64_t meta)
+{
+    return (meta >> 32) & 1;
+}
+
+unsigned
+metaCount(std::uint64_t meta)
+{
+    return static_cast<unsigned>(meta & 0xffffffffu);
+}
+
+/** Write key slot i (leaf slots carry an integrity checksum). */
+void
+storeKeySlot(MemAccessor &m, Addr node, unsigned i, std::uint64_t key,
+             bool is_leaf)
+{
+    m.st(keyAddr(node, i), key);
+    m.st(keyAddr(node, i) + 8, is_leaf ? nodeChecksum(key) : 0);
+}
+
+/** Publish a new meta word (count and/or leaf bit) durably. */
+void
+publishMeta(MemAccessor &m, Addr node, bool is_leaf, unsigned count)
+{
+    m.st(node, metaWord(is_leaf, count));
+    m.wb(node);
+    m.barrier();
+}
+
+/** First index whose key is > @p key (keys are sorted within a node). */
+unsigned
+upperBound(MemAccessor &m, Addr node, unsigned count, std::uint64_t key)
+{
+    unsigned i = 0;
+    while (i < count && m.ld(keyAddr(node, i)) <= key)
+        ++i;
+    return i;
+}
+
+/**
+ * Insert (key, optional right child) into a non-full node at position
+ * @p pos, shifting greater slots right. Slots persist before the count.
+ */
+void
+insertIntoNode(MemAccessor &m, Addr node, unsigned pos, std::uint64_t key,
+               Addr right_child)
+{
+    std::uint64_t meta = m.ld(node);
+    bool is_leaf = metaIsLeaf(meta);
+    unsigned count = metaCount(meta);
+    BBB_ASSERT(count < kFanout, "insert into full btree node");
+
+    for (unsigned i = count; i > pos; --i) {
+        std::uint64_t k = m.ld(keyAddr(node, i - 1));
+        std::uint64_t s = m.ld(keyAddr(node, i - 1) + 8);
+        m.st(keyAddr(node, i), k);
+        m.st(keyAddr(node, i) + 8, s);
+        if (!is_leaf)
+            m.st(childAddr(node, i + 1), m.ld(childAddr(node, i)));
+    }
+    storeKeySlot(m, node, pos, key, is_leaf);
+    if (!is_leaf)
+        m.st(childAddr(node, pos + 1), right_child);
+    m.persistObject(node + kKeysOff, kNodeBytes - kKeysOff);
+    publishMeta(m, node, is_leaf, count + 1);
+}
+
+/**
+ * Split a full node: the upper half moves to a new sibling, the median
+ * key is returned for the parent. The sibling is fully persistent before
+ * the old node's shrunken count publishes.
+ *
+ * @return {median key, sibling address}.
+ */
+std::pair<std::uint64_t, Addr>
+splitNode(MemAccessor &m, PersistentHeap &heap, unsigned arena, Addr node)
+{
+    std::uint64_t meta = m.ld(node);
+    bool is_leaf = metaIsLeaf(meta);
+    unsigned count = metaCount(meta);
+    BBB_ASSERT(count == kFanout, "splitting non-full btree node");
+    constexpr unsigned kMid = kFanout / 2;
+
+    std::uint64_t median = m.ld(keyAddr(node, kMid));
+    Addr sibling = heap.alloc(arena, kNodeBytes, 64);
+
+    // Leaves keep the median in the right half (B+-tree style, so leaf
+    // checksums cover every key); interior nodes push it to the parent.
+    unsigned first_right = is_leaf ? kMid : kMid + 1;
+    unsigned moved = count - first_right;
+    for (unsigned i = 0; i < moved; ++i) {
+        std::uint64_t k = m.ld(keyAddr(node, first_right + i));
+        storeKeySlot(m, sibling, i, k, is_leaf);
+        if (!is_leaf) {
+            m.st(childAddr(sibling, i),
+                 m.ld(childAddr(node, first_right + i)));
+        }
+    }
+    if (!is_leaf) {
+        m.st(childAddr(sibling, moved),
+             m.ld(childAddr(node, count)));
+    }
+    m.persistObject(sibling, kNodeBytes);
+    publishMeta(m, sibling, is_leaf, moved);
+
+    publishMeta(m, node, is_leaf, kMid);
+    return {median, sibling};
+}
+
+} // namespace
+
+void
+BtreeWorkload::insert(MemAccessor &m, PersistentHeap &heap, unsigned arena,
+                      Addr root_slot, std::uint64_t key)
+{
+    Addr root = m.ld(root_slot);
+    if (root == 0) {
+        Addr leaf = heap.alloc(arena, kNodeBytes, 64);
+        storeKeySlot(m, leaf, 0, key, true);
+        m.persistObject(leaf, kNodeBytes);
+        publishMeta(m, leaf, true, 1);
+        m.st(root_slot, leaf);
+        m.wb(root_slot);
+        m.barrier();
+        return;
+    }
+
+    // Split-on-the-way-down: every node we descend into has a free slot,
+    // so splits never propagate upward more than one level at a time.
+    if (metaCount(m.ld(root)) == kFanout) {
+        auto [median, sibling] = splitNode(m, heap, arena, root);
+        Addr new_root = heap.alloc(arena, kNodeBytes, 64);
+        storeKeySlot(m, new_root, 0, median, false);
+        m.st(childAddr(new_root, 0), root);
+        m.st(childAddr(new_root, 1), sibling);
+        m.persistObject(new_root, kNodeBytes);
+        publishMeta(m, new_root, false, 1);
+        m.st(root_slot, new_root);
+        m.wb(root_slot);
+        m.barrier();
+        root = new_root;
+    }
+
+    Addr node = root;
+    unsigned depth = 0;
+    for (;;) {
+        BBB_ASSERT(++depth < kMaxDepth, "btree descend runaway");
+        std::uint64_t meta = m.ld(node);
+        unsigned count = metaCount(meta);
+        unsigned pos = upperBound(m, node, count, key);
+
+        if (metaIsLeaf(meta)) {
+            insertIntoNode(m, node, pos, key, 0);
+            return;
+        }
+
+        Addr child = m.ld(childAddr(node, pos));
+        if (metaCount(m.ld(child)) == kFanout) {
+            auto [median, sibling] = splitNode(m, heap, arena, child);
+            insertIntoNode(m, node, pos, median, sibling);
+            if (key > median)
+                child = sibling;
+        }
+        node = child;
+    }
+}
+
+void
+BtreeWorkload::prepare(System &sys)
+{
+    _sys = &sys;
+    _first = firstThread();
+    _end = endThread(sys);
+
+    ImageAccessor img(sys.image());
+    Rng rng(_p.seed ^ 0xb7ee);
+    for (unsigned t = _first; t < _end; ++t) {
+        Addr root_slot = sys.heap().rootAddr(t);
+        img.st(root_slot, 0);
+        for (std::uint64_t i = 0; i < _p.initial_elements; ++i)
+            insert(img, sys.heap(), t, root_slot, rng.next());
+    }
+}
+
+void
+BtreeWorkload::runThread(ThreadContext &tc, unsigned tid)
+{
+    TcAccessor m(tc);
+    Addr root_slot = _sys->heap().rootAddr(tid);
+    for (std::uint64_t i = 0; i < _p.ops_per_thread; ++i) {
+        insert(m, _sys->heap(), tid, root_slot, tc.rng().next());
+        if (_p.compute_cycles)
+            tc.compute(_p.compute_cycles);
+    }
+}
+
+void
+BtreeWorkload::checkSubtree(const PmemImage &img, Addr node, unsigned depth,
+                            RecoveryResult &res) const
+{
+    if (node == 0)
+        return;
+    if (!img.validPersistent(node) || depth > kMaxDepth) {
+        ++res.dangling;
+        return;
+    }
+    std::uint64_t meta = img.read64(node);
+    bool is_leaf = metaIsLeaf(meta);
+    unsigned count = metaCount(meta);
+    if (count > kFanout) {
+        ++res.torn;
+        return;
+    }
+    for (unsigned i = 0; i < count; ++i) {
+        ++res.checked;
+        std::uint64_t key = img.read64(keyAddr(node, i));
+        if (is_leaf) {
+            if (img.read64(keyAddr(node, i) + 8) == nodeChecksum(key))
+                ++res.intact;
+            else
+                ++res.torn;
+        } else {
+            ++res.intact; // interior keys validated by child reachability
+        }
+    }
+    if (!is_leaf) {
+        for (unsigned i = 0; i <= count; ++i) {
+            Addr child = img.read64(childAddr(node, i));
+            if (child == 0 || !img.validPersistent(child)) {
+                ++res.dangling;
+                continue;
+            }
+            checkSubtree(img, child, depth + 1, res);
+        }
+    }
+}
+
+RecoveryResult
+BtreeWorkload::checkRecovery(const PmemImage &img) const
+{
+    RecoveryResult res;
+    for (unsigned t = _first; t < _end; ++t)
+        checkSubtree(img, img.read64(_sys->heap().rootAddr(t)), 0, res);
+    return res;
+}
+
+} // namespace bbb

@@ -1,0 +1,100 @@
+#include "workloads/ctree.hh"
+
+namespace bbb
+{
+
+namespace
+{
+constexpr unsigned kMaxDepth = 128;
+} // namespace
+
+void
+CtreeWorkload::insert(MemAccessor &m, PersistentHeap &heap, unsigned arena,
+                      Addr root, std::uint64_t key)
+{
+    // Build and persist the new leaf first.
+    Addr node = heap.alloc(arena, 32, 32);
+    m.st(node + 0, key);
+    m.st(node + 8, nodeChecksum(key));
+    m.st(node + 16, 0);
+    m.st(node + 24, 0);
+    m.persistObject(node, 32);
+
+    // Find the link to update.
+    Addr link = root;
+    Addr cur = m.ld(link);
+    unsigned depth = 0;
+    while (cur != 0) {
+        std::uint64_t cur_key = m.ld(cur + 0);
+        link = (key < cur_key) ? cur + 16 : cur + 24;
+        cur = m.ld(link);
+        BBB_ASSERT(++depth < 4096, "ctree descend runaway");
+    }
+
+    // Publish.
+    m.st(link, node);
+    m.wb(link);
+    m.barrier();
+}
+
+void
+CtreeWorkload::prepare(System &sys)
+{
+    _sys = &sys;
+    _first = firstThread();
+    _end = endThread(sys);
+
+    ImageAccessor img(sys.image());
+    Rng rng(_p.seed ^ 0xc43ee);
+    for (unsigned t = _first; t < _end; ++t) {
+        Addr root = sys.heap().rootAddr(t);
+        img.st(root, 0);
+        for (std::uint64_t i = 0; i < _p.initial_elements; ++i)
+            insert(img, sys.heap(), t, root, rng.next());
+    }
+}
+
+void
+CtreeWorkload::runThread(ThreadContext &tc, unsigned tid)
+{
+    TcAccessor m(tc);
+    Addr root = _sys->heap().rootAddr(tid);
+    for (std::uint64_t i = 0; i < _p.ops_per_thread; ++i) {
+        insert(m, _sys->heap(), tid, root, tc.rng().next());
+        if (_p.compute_cycles)
+            tc.compute(_p.compute_cycles);
+    }
+}
+
+void
+CtreeWorkload::checkSubtree(const PmemImage &img, Addr node, unsigned depth,
+                            RecoveryResult &res) const
+{
+    if (node == 0)
+        return;
+    if (!img.validPersistent(node) || depth > kMaxDepth) {
+        ++res.dangling;
+        return;
+    }
+    ++res.checked;
+    std::uint64_t key = img.read64(node + 0);
+    std::uint64_t sum = img.read64(node + 8);
+    if (sum != nodeChecksum(key)) {
+        ++res.torn;
+        return; // children of a torn node are garbage
+    }
+    ++res.intact;
+    checkSubtree(img, img.read64(node + 16), depth + 1, res);
+    checkSubtree(img, img.read64(node + 24), depth + 1, res);
+}
+
+RecoveryResult
+CtreeWorkload::checkRecovery(const PmemImage &img) const
+{
+    RecoveryResult res;
+    for (unsigned t = _first; t < _end; ++t)
+        checkSubtree(img, img.read64(_sys->heap().rootAddr(t)), 0, res);
+    return res;
+}
+
+} // namespace bbb

@@ -1,0 +1,97 @@
+#include "workloads/hashmap.hh"
+
+#include <bit>
+
+namespace bbb
+{
+
+void
+HashmapWorkload::insert(MemAccessor &m, PersistentHeap &heap,
+                        unsigned arena, Addr buckets, std::uint64_t nbuckets,
+                        std::uint64_t key)
+{
+    Addr bucket = buckets + (mix64(key) & (nbuckets - 1)) * 8;
+
+    Addr node = heap.alloc(arena, 24);
+    m.st(node + 0, key);
+    m.st(node + 8, nodeChecksum(key));
+    m.st(node + 16, m.ld(bucket));
+    m.persistObject(node, 24);
+
+    m.st(bucket, node);
+    m.wb(bucket);
+    m.barrier();
+}
+
+void
+HashmapWorkload::prepare(System &sys)
+{
+    _sys = &sys;
+    _first = firstThread();
+    _end = endThread(sys);
+    _nbuckets = std::bit_ceil(std::max<std::uint64_t>(
+        16, _p.initial_elements + _p.ops_per_thread));
+
+    ImageAccessor img(sys.image());
+    Rng rng(_p.seed ^ 0x4a54);
+    for (unsigned t = _first; t < _end; ++t) {
+        // Bucket array: media zero-fill is the empty state.
+        Addr buckets = sys.heap().alloc(t, _nbuckets * 8, kBlockSize);
+        img.st(sys.heap().rootAddr(t), buckets);
+        for (std::uint64_t i = 0; i < _p.initial_elements; ++i)
+            insert(img, sys.heap(), t, buckets, _nbuckets, rng.next());
+    }
+}
+
+void
+HashmapWorkload::runThread(ThreadContext &tc, unsigned tid)
+{
+    TcAccessor m(tc);
+    Addr buckets = tc.load64(_sys->heap().rootAddr(tid));
+    for (std::uint64_t i = 0; i < _p.ops_per_thread; ++i) {
+        insert(m, _sys->heap(), tid, buckets, _nbuckets, tc.rng().next());
+        if (_p.compute_cycles)
+            tc.compute(_p.compute_cycles);
+    }
+}
+
+RecoveryResult
+HashmapWorkload::checkRecovery(const PmemImage &img) const
+{
+    RecoveryResult res;
+    for (unsigned t = _first; t < _end; ++t) {
+        Addr buckets = img.read64(_sys->heap().rootAddr(t));
+        if (buckets == 0 || !img.validPersistent(buckets)) {
+            ++res.dangling;
+            continue;
+        }
+        for (std::uint64_t b = 0; b < _nbuckets; ++b) {
+            Addr node = img.read64(buckets + b * 8);
+            std::uint64_t guard = 0;
+            while (node != 0) {
+                if (!img.validPersistent(node)) {
+                    ++res.dangling;
+                    break;
+                }
+                ++res.checked;
+                std::uint64_t key = img.read64(node + 0);
+                std::uint64_t sum = img.read64(node + 8);
+                if (sum == nodeChecksum(key)) {
+                    ++res.intact;
+                } else {
+                    ++res.torn;
+                    break;
+                }
+                node = img.read64(node + 16);
+                if (++guard >
+                    _p.initial_elements + _p.ops_per_thread + 8) {
+                    ++res.dangling;
+                    break;
+                }
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace bbb

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table IV `hashmap`: random insertions into a persistent chained hash
+ * map, one map per thread.
+ *
+ * Layout: the root slot points at a power-of-two bucket array of 8-byte
+ * head pointers; nodes are 24 B {key, checksum(key), next}. Insertion
+ * prepends to the bucket chain with the same persist-then-publish
+ * discipline as the linked list.
+ */
+
+#ifndef BBB_WORKLOADS_HASHMAP_HH
+#define BBB_WORKLOADS_HASHMAP_HH
+
+#include "workloads/workload.hh"
+
+namespace bbb
+{
+
+/** Per-thread persistent hash-map insertion workload. */
+class HashmapWorkload : public Workload
+{
+  public:
+    explicit HashmapWorkload(const WorkloadParams &p) : Workload(p) {}
+
+    const char *name() const override { return "hashmap"; }
+    void prepare(System &sys) override;
+    void runThread(ThreadContext &tc, unsigned tid) override;
+    RecoveryResult checkRecovery(const PmemImage &img) const override;
+
+    /** One insert through an arbitrary accessor. */
+    static void insert(MemAccessor &m, PersistentHeap &heap, unsigned arena,
+                       Addr buckets, std::uint64_t nbuckets,
+                       std::uint64_t key);
+
+  private:
+    std::uint64_t _nbuckets = 0;
+    System *_sys = nullptr;
+    unsigned _first = 0;
+    unsigned _end = 0;
+};
+
+} // namespace bbb
+
+#endif // BBB_WORKLOADS_HASHMAP_HH

@@ -1,0 +1,183 @@
+#include "workloads/skiplist.hh"
+
+#include <set>
+
+namespace bbb
+{
+
+namespace
+{
+
+constexpr unsigned kMaxHeight = SkiplistWorkload::kMaxHeight;
+constexpr std::uint64_t kOffKey = SkiplistWorkload::kOffKey;
+constexpr std::uint64_t kOffSum = SkiplistWorkload::kOffSum;
+constexpr std::uint64_t kOffHeight = SkiplistWorkload::kOffHeight;
+constexpr std::uint64_t kOffNext = SkiplistWorkload::kOffNext;
+
+std::uint64_t
+nodeBytes(unsigned height)
+{
+    return kOffNext + 8ull * height;
+}
+
+Addr
+nextAddr(Addr node, unsigned level)
+{
+    return node + kOffNext + 8ull * level;
+}
+
+/** Geometric height draw: P(h >= k) = 2^-(k-1), capped. */
+unsigned
+drawHeight(Rng &rng)
+{
+    unsigned h = 1;
+    while (h < kMaxHeight && rng.chance(0.5))
+        ++h;
+    return h;
+}
+
+} // namespace
+
+Addr
+SkiplistWorkload::makeHead(MemAccessor &m, PersistentHeap &heap,
+                           unsigned arena)
+{
+    Addr head = heap.alloc(arena, nodeBytes(kMaxHeight), 8);
+    m.st(head + kOffKey, 0);
+    m.st(head + kOffSum, nodeChecksum(0));
+    m.st(head + kOffHeight, kMaxHeight);
+    for (unsigned lvl = 0; lvl < kMaxHeight; ++lvl)
+        m.st(nextAddr(head, lvl), 0);
+    m.persistObject(head, nodeBytes(kMaxHeight));
+    return head;
+}
+
+void
+SkiplistWorkload::insert(MemAccessor &m, PersistentHeap &heap,
+                         unsigned arena, Addr head, std::uint64_t key,
+                         Rng &rng)
+{
+    // Find the predecessor at every level.
+    Addr preds[kMaxHeight];
+    Addr cur = head;
+    unsigned guard = 0;
+    for (unsigned lvl = kMaxHeight; lvl-- > 0;) {
+        for (;;) {
+            Addr next = m.ld(nextAddr(cur, lvl));
+            if (next == 0 || m.ld(next + kOffKey) >= key)
+                break;
+            cur = next;
+            BBB_ASSERT(++guard < 1u << 20, "skiplist search runaway");
+        }
+        preds[lvl] = cur;
+    }
+
+    // Build and persist the node with its own next pointers first.
+    unsigned height = drawHeight(rng);
+    Addr node = heap.alloc(arena, nodeBytes(height), 8);
+    m.st(node + kOffKey, key);
+    m.st(node + kOffSum, nodeChecksum(key));
+    m.st(node + kOffHeight, height);
+    for (unsigned lvl = 0; lvl < height; ++lvl)
+        m.st(nextAddr(node, lvl), m.ld(nextAddr(preds[lvl], lvl)));
+    m.persistObject(node, nodeBytes(height));
+
+    // Link bottom-up: level 0 is the membership commit; the accelerator
+    // levels follow, each persisted before the next so every crash point
+    // leaves all levels valid subsequences of level 0.
+    for (unsigned lvl = 0; lvl < height; ++lvl) {
+        m.st(nextAddr(preds[lvl], lvl), node);
+        m.wb(nextAddr(preds[lvl], lvl));
+        m.barrier();
+    }
+}
+
+void
+SkiplistWorkload::prepare(System &sys)
+{
+    _sys = &sys;
+    _first = firstThread();
+    _end = endThread(sys);
+
+    ImageAccessor img(sys.image());
+    Rng rng(_p.seed ^ 0x5c1b);
+    for (unsigned t = _first; t < _end; ++t) {
+        Addr head = makeHead(img, sys.heap(), t);
+        img.st(sys.heap().rootAddr(t), head);
+        for (std::uint64_t i = 0; i < _p.initial_elements; ++i)
+            insert(img, sys.heap(), t, head, rng.next() | 1, rng);
+    }
+}
+
+void
+SkiplistWorkload::runThread(ThreadContext &tc, unsigned tid)
+{
+    TcAccessor m(tc);
+    Addr head = tc.load64(_sys->heap().rootAddr(tid));
+    for (std::uint64_t i = 0; i < _p.ops_per_thread; ++i) {
+        insert(m, _sys->heap(), tid, head, tc.rng().next() | 1, tc.rng());
+        if (_p.compute_cycles)
+            tc.compute(_p.compute_cycles);
+    }
+}
+
+RecoveryResult
+SkiplistWorkload::checkRecovery(const PmemImage &img) const
+{
+    RecoveryResult res;
+    std::uint64_t limit =
+        (_p.initial_elements + _p.ops_per_thread + 8) * 2;
+
+    for (unsigned t = _first; t < _end; ++t) {
+        Addr head = img.read64(_sys->heap().rootAddr(t));
+        if (head == 0 || !img.validPersistent(head)) {
+            ++res.dangling;
+            continue;
+        }
+
+        // Level 0: every member must validate.
+        std::set<Addr> members;
+        Addr node = img.read64(nextAddr(head, 0));
+        std::uint64_t guard = 0;
+        std::uint64_t prev_key = 0;
+        while (node != 0) {
+            if (!img.validPersistent(node) || ++guard > limit) {
+                ++res.dangling;
+                break;
+            }
+            ++res.checked;
+            std::uint64_t key = img.read64(node + kOffKey);
+            if (img.read64(node + kOffSum) != nodeChecksum(key) ||
+                key < prev_key) {
+                ++res.torn;
+                break;
+            }
+            ++res.intact;
+            prev_key = key;
+            members.insert(node);
+            node = img.read64(nextAddr(node, 0));
+        }
+
+        // Higher levels: strictly subsequences of the membership set.
+        for (unsigned lvl = 1; lvl < kMaxHeight; ++lvl) {
+            Addr n = img.read64(nextAddr(head, lvl));
+            std::uint64_t lvl_guard = 0;
+            while (n != 0) {
+                if (!members.count(n) || ++lvl_guard > limit) {
+                    ++res.dangling; // accelerator points outside the list
+                    break;
+                }
+                unsigned h = static_cast<unsigned>(
+                    img.read64(n + kOffHeight));
+                if (h <= lvl || h > kMaxHeight) {
+                    ++res.torn;
+                    break;
+                }
+                n = img.read64(nextAddr(n, lvl));
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace bbb

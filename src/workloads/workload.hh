@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Workload framework: the Table IV evaluation workloads.
+ *
+ * Each workload pre-builds its persistent data structures functionally
+ * (warm-up, like the paper's 200M-instruction warm-up window), then runs
+ * one software thread per core performing back-to-back persistent
+ * operations — the paper's worst-case persist pressure design. After a
+ * simulated crash, checkRecovery() walks the post-crash image from the
+ * persistent roots and classifies reachable objects as intact or torn.
+ */
+
+#ifndef BBB_WORKLOADS_WORKLOAD_HH
+#define BBB_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/system.hh"
+#include "persist/recovery.hh"
+#include "workloads/accessor.hh"
+
+namespace bbb
+{
+
+/** Size/shape knobs shared by all workloads. */
+struct WorkloadParams
+{
+    /** Operations performed by each thread in the measured window. */
+    std::uint64_t ops_per_thread = 2000;
+    /** Structure size pre-built per thread before measurement. */
+    std::uint64_t initial_elements = 20000;
+    /** Array length for the mutate/swap workloads (paper: 1M). */
+    std::uint64_t array_elements = 1ull << 20;
+    /** Compute cycles between consecutive operations (paper: ~none). */
+    std::uint64_t compute_cycles = 0;
+    /** Base RNG seed. */
+    std::uint64_t seed = 42;
+    /**
+     * Core range this workload occupies: [thread_offset,
+     * thread_offset + thread_count). thread_count == 0 means "all cores
+     * from the offset". Ranged workloads let heterogeneous mixes share
+     * one machine (each uses its own root slots and heap arenas).
+     */
+    unsigned thread_offset = 0;
+    unsigned thread_count = 0;
+};
+
+/** Base class for all workloads. */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadParams &p) : _p(p) {}
+    virtual ~Workload() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Functional pre-build: roots, initial structure (media writes). */
+    virtual void prepare(System &sys) = 0;
+
+    /** The measured per-thread loop (runs on a core fiber). */
+    virtual void runThread(ThreadContext &tc, unsigned tid) = 0;
+
+    /** Walk the post-crash image and validate integrity. */
+    virtual RecoveryResult checkRecovery(const PmemImage &img) const = 0;
+
+    /** prepare() + bind runThread to this workload's core range. */
+    void
+    install(System &sys)
+    {
+        prepare(sys);
+        for (CoreId c = firstThread(); c < endThread(sys); ++c) {
+            sys.onThread(c, [this, c](ThreadContext &tc) {
+                runThread(tc, c);
+            });
+        }
+    }
+
+    const WorkloadParams &params() const { return _p; }
+
+    /** First core of this workload's range. */
+    unsigned firstThread() const { return _p.thread_offset; }
+
+    /** One past the last core of this workload's range. */
+    unsigned
+    endThread(const System &sys) const
+    {
+        BBB_ASSERT(_p.thread_offset < sys.numCores(),
+                   "workload thread range starts at core %u but the "
+                   "system has %u cores",
+                   _p.thread_offset, sys.numCores());
+        unsigned count = _p.thread_count
+                             ? _p.thread_count
+                             : sys.numCores() - _p.thread_offset;
+        BBB_ASSERT(_p.thread_offset + count <= sys.numCores(),
+                   "workload thread range [%u, %u) exceeds %u cores",
+                   _p.thread_offset, _p.thread_offset + count,
+                   sys.numCores());
+        return _p.thread_offset + count;
+    }
+
+  protected:
+    WorkloadParams _p;
+};
+
+/** All registered workload names (Table IV + the Fig. 2 linked list). */
+std::vector<std::string> workloadNames();
+
+/** Instantiate a workload by name; fatal() on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadParams &p);
+
+} // namespace bbb
+
+#endif // BBB_WORKLOADS_WORKLOAD_HH

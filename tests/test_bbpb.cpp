@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Unit tests for the battery-backed persist buffers: allocation,
+ * coalescing, FCFS threshold draining, migration, forced drains, crash
+ * drains, and the processor-side ordering rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bbpb.hh"
+#include "mem/backing_store.hh"
+#include "sim/event_queue.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+struct Rig
+{
+    SystemConfig cfg;
+    EventQueue eq;
+    BackingStore store;
+    StatRegistry stats;
+    MemCtrl nvmm;
+
+    explicit Rig(unsigned entries = 8, double threshold = 0.75)
+        : cfg(makeCfg(entries, threshold)),
+          nvmm("nvmm", cfg.nvmm, eq, store, stats)
+    {
+    }
+
+    static SystemConfig
+    makeCfg(unsigned entries, double threshold)
+    {
+        SystemConfig cfg;
+        cfg.num_cores = 2;
+        cfg.bbpb.entries = entries;
+        cfg.bbpb.drain_threshold = threshold;
+        return cfg;
+    }
+};
+
+BlockData
+pattern(unsigned char v)
+{
+    BlockData d;
+    d.bytes.fill(v);
+    return d;
+}
+
+constexpr Addr kBase = 1_GiB;
+
+Addr
+blk(unsigned i)
+{
+    return kBase + i * kBlockSize;
+}
+
+} // namespace
+
+TEST(MemSideBbpb, AllocateUntilFull)
+{
+    Rig rig(4, 1.0); // threshold 100%: no draining below full
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_TRUE(bbpb.canAcceptPersist(0, blk(i)));
+        bbpb.persistStore(0, blk(i), 8, pattern(1));
+    }
+    EXPECT_EQ(bbpb.coreOccupancy(0), 4u);
+    EXPECT_FALSE(bbpb.canAcceptPersist(0, blk(9)));
+    // ...but a resident block can still coalesce.
+    EXPECT_TRUE(bbpb.canAcceptPersist(0, blk(2)));
+}
+
+TEST(MemSideBbpb, BuffersArePerCore)
+{
+    Rig rig(2, 1.0);
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(0), 8, pattern(1));
+    bbpb.persistStore(0, blk(1), 8, pattern(1));
+    EXPECT_FALSE(bbpb.canAcceptPersist(0, blk(2)));
+    EXPECT_TRUE(bbpb.canAcceptPersist(1, blk(2)));
+    EXPECT_FALSE(bbpb.holds(1, blk(0)));
+}
+
+TEST(MemSideBbpb, CoalescingUpdatesDataWithoutNewEntry)
+{
+    Rig rig(4, 1.0);
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(0), 8, pattern(1));
+    bbpb.persistStore(0, blk(0) + 8, 8, pattern(7));
+    EXPECT_EQ(bbpb.coreOccupancy(0), 1u);
+    EXPECT_EQ(bbpb.stats().coalesces.value(), 1u);
+    auto records = bbpb.crashDrain();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].data.bytes[0], 7); // newest full-line data
+}
+
+TEST(MemSideBbpb, ThresholdTriggersDrainToWpqAndMedia)
+{
+    Rig rig(4, 0.75); // threshold = ceil(3) = 3 entries
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(0), 8, pattern(1));
+    bbpb.persistStore(0, blk(1), 8, pattern(2));
+    EXPECT_EQ(bbpb.stats().drains.value(), 0u);
+    bbpb.persistStore(0, blk(2), 8, pattern(3)); // hits threshold
+    rig.eq.run();
+    // Drains until below threshold: 3 -> 2 entries (one drain).
+    EXPECT_EQ(bbpb.stats().drains.value(), 1u);
+    EXPECT_EQ(bbpb.coreOccupancy(0), 2u);
+    EXPECT_EQ(rig.store.read64(blk(0)), 0x0101010101010101ull);
+}
+
+TEST(MemSideBbpb, DrainIsFcfsOldestFirst)
+{
+    Rig rig(4, 0.75);
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(5), 8, pattern(5)); // oldest
+    bbpb.persistStore(0, blk(1), 8, pattern(1));
+    bbpb.persistStore(0, blk(3), 8, pattern(3));
+    rig.eq.run();
+    EXPECT_FALSE(bbpb.holds(0, blk(5))); // drained first
+    EXPECT_TRUE(bbpb.holds(0, blk(1)));
+    EXPECT_TRUE(bbpb.holds(0, blk(3)));
+}
+
+TEST(MemSideBbpb, CoalescingDoesNotRefreshFcfsAge)
+{
+    Rig rig(4, 0.75);
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(0), 8, pattern(1));
+    bbpb.persistStore(0, blk(1), 8, pattern(2));
+    bbpb.persistStore(0, blk(0), 8, pattern(9)); // coalesce, still oldest
+    bbpb.persistStore(0, blk(2), 8, pattern(3));
+    rig.eq.run();
+    EXPECT_FALSE(bbpb.holds(0, blk(0))); // oldest drained, newest data
+    EXPECT_EQ(rig.store.read64(blk(0)), 0x0909090909090909ull);
+}
+
+TEST(MemSideBbpb, MigrationRemovesWithoutWriting)
+{
+    Rig rig(4, 1.0);
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(0), 8, pattern(1));
+    bbpb.onInvalidateForWrite(0, blk(0));
+    EXPECT_FALSE(bbpb.holds(0, blk(0)));
+    EXPECT_EQ(bbpb.stats().migrations.value(), 1u);
+    rig.eq.run();
+    EXPECT_EQ(rig.nvmm.mediaWrites(), 0u);
+    EXPECT_EQ(rig.store.read64(blk(0)), 0u);
+}
+
+TEST(MemSideBbpb, MigrationOfAbsentBlockIsNoop)
+{
+    Rig rig(4, 1.0);
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.onInvalidateForWrite(0, blk(0));
+    EXPECT_EQ(bbpb.stats().migrations.value(), 0u);
+}
+
+TEST(MemSideBbpb, ForcedDrainWritesFreshDataSynchronously)
+{
+    Rig rig(4, 1.0);
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(1, blk(0), 8, pattern(1));
+    bbpb.onForcedDrain(blk(0), pattern(8));
+    EXPECT_FALSE(bbpb.holds(1, blk(0)));
+    EXPECT_EQ(bbpb.stats().forced_drains.value(), 1u);
+    rig.eq.run();
+    EXPECT_EQ(rig.store.read64(blk(0)), 0x0808080808080808ull);
+}
+
+TEST(MemSideBbpb, CrashDrainReturnsAllEntriesAndClears)
+{
+    Rig rig(8, 1.0);
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(0), 8, pattern(1));
+    bbpb.persistStore(1, blk(1), 8, pattern(2));
+    bbpb.persistStore(1, blk(2), 8, pattern(3));
+    auto records = bbpb.crashDrain();
+    EXPECT_EQ(records.size(), 3u);
+    EXPECT_EQ(bbpb.occupancy(), 0u);
+    EXPECT_EQ(bbpb.stats().crash_drained.value(), 3u);
+}
+
+TEST(MemSideBbpb, SingleEntryBufferDrainsImmediately)
+{
+    Rig rig(1, 0.75); // threshold clamps to 1
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    EXPECT_EQ(bbpb.drainThresholdEntries(), 1u);
+    bbpb.persistStore(0, blk(0), 8, pattern(1));
+    rig.eq.run();
+    EXPECT_EQ(bbpb.coreOccupancy(0), 0u);
+    EXPECT_EQ(rig.nvmm.mediaWrites(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Processor-side organisation
+// ---------------------------------------------------------------------
+
+TEST(ProcSideBbpb, NoCoalescingByDefault)
+{
+    Rig rig(8, 1.0);
+    ProcSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(0), 8, pattern(1));
+    bbpb.persistStore(0, blk(0) + 8, 8, pattern(2)); // same block, again
+    EXPECT_EQ(bbpb.coreOccupancy(0), 2u); // two ordered records
+    EXPECT_EQ(bbpb.stats().coalesces.value(), 0u);
+}
+
+TEST(ProcSideBbpb, PairwiseCoalescingWhenEnabled)
+{
+    Rig rig(8, 1.0);
+    rig.cfg.bbpb.proc_pairwise_coalescing = true;
+    ProcSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(0), 8, pattern(1));
+    bbpb.persistStore(0, blk(0), 8, pattern(2)); // coalesces (pair)
+    bbpb.persistStore(0, blk(0), 8, pattern(3)); // budget spent: new record
+    EXPECT_EQ(bbpb.coreOccupancy(0), 2u);
+    EXPECT_EQ(bbpb.stats().coalesces.value(), 1u);
+}
+
+TEST(ProcSideBbpb, InvalidationDrainsOrderedPrefix)
+{
+    Rig rig(8, 1.0);
+    ProcSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(0), 8, pattern(1)); // older
+    bbpb.persistStore(0, blk(1), 8, pattern(2)); // the migrating block
+    bbpb.persistStore(0, blk(2), 8, pattern(3)); // younger, stays
+    bbpb.onInvalidateForWrite(0, blk(1));
+    // Records up to and including blk(1) drained in order; blk(2) remains.
+    EXPECT_FALSE(bbpb.holds(0, blk(0)));
+    EXPECT_FALSE(bbpb.holds(0, blk(1)));
+    EXPECT_TRUE(bbpb.holds(0, blk(2)));
+    rig.eq.run();
+    EXPECT_EQ(rig.store.read64(blk(0)), 0x0101010101010101ull);
+    EXPECT_EQ(rig.store.read64(blk(1)), 0x0202020202020202ull);
+}
+
+TEST(ProcSideBbpb, ThresholdDrainsInProgramOrder)
+{
+    Rig rig(4, 0.75);
+    ProcSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(3), 8, pattern(3));
+    bbpb.persistStore(0, blk(1), 8, pattern(1));
+    bbpb.persistStore(0, blk(2), 8, pattern(2));
+    rig.eq.run();
+    EXPECT_FALSE(bbpb.holds(0, blk(3))); // first record drained first
+    EXPECT_TRUE(bbpb.holds(0, blk(2)));
+}
+
+TEST(ProcSideBbpb, CrashDrainPreservesProgramOrder)
+{
+    Rig rig(8, 1.0);
+    ProcSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(2), 8, pattern(1));
+    bbpb.persistStore(0, blk(0), 8, pattern(2));
+    bbpb.persistStore(0, blk(2), 8, pattern(3));
+    auto records = bbpb.crashDrain();
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].block, blk(2));
+    EXPECT_EQ(records[1].block, blk(0));
+    EXPECT_EQ(records[2].block, blk(2));
+    EXPECT_EQ(records[2].data.bytes[0], 3);
+}
+
+TEST(ProcSideBbpb, FullBufferRejects)
+{
+    Rig rig(2, 1.0);
+    ProcSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    bbpb.persistStore(0, blk(0), 8, pattern(1));
+    bbpb.persistStore(0, blk(1), 8, pattern(2));
+    EXPECT_FALSE(bbpb.canAcceptPersist(0, blk(2)));
+    EXPECT_FALSE(bbpb.canAcceptPersist(0, blk(0))); // no coalescing
+}
+
+// ---------------------------------------------------------------------
+// Parameterized: threshold arithmetic across buffer sizes.
+// ---------------------------------------------------------------------
+
+class BbpbThreshold : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BbpbThreshold, OccupancySettlesBelowThreshold)
+{
+    unsigned entries = GetParam();
+    Rig rig(entries, 0.75);
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    // Fire twice the capacity in distinct blocks; with draining the
+    // buffer must end strictly below the threshold.
+    for (unsigned i = 0; i < entries * 2; ++i) {
+        while (!bbpb.canAcceptPersist(0, blk(i)))
+            rig.eq.step();
+        bbpb.persistStore(0, blk(i), 8, pattern(1));
+    }
+    rig.eq.run();
+    EXPECT_LT(bbpb.coreOccupancy(0), bbpb.drainThresholdEntries());
+    EXPECT_GT(bbpb.stats().drains.value(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BbpbThreshold,
+                         ::testing::Values(1, 2, 4, 8, 32, 128));

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the set-associative array and replacement policies,
+ * including parameterized sweeps over every policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/cache_array.hh"
+#include "cache/hierarchy.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+struct Line : CacheLineBase
+{
+    int payload = 0;
+};
+
+/** Address of way-conflicting blocks for a given set in a 4-way array. */
+Addr
+conflicting(const CacheArray<Line> &array, unsigned i)
+{
+    return static_cast<Addr>(i) * array.numSets() * kBlockSize;
+}
+
+} // namespace
+
+TEST(CacheArray, GeometryFromSizeAndAssoc)
+{
+    CacheArray<Line> a(128_KiB, 8);
+    EXPECT_EQ(a.numLines(), 2048u);
+    EXPECT_EQ(a.numSets(), 256u);
+    EXPECT_EQ(a.assoc(), 8u);
+}
+
+TEST(CacheArray, FindMissesOnEmpty)
+{
+    CacheArray<Line> a(4_KiB, 4);
+    EXPECT_EQ(a.find(0), nullptr);
+}
+
+TEST(CacheArray, FillThenFind)
+{
+    CacheArray<Line> a(4_KiB, 4);
+    Line &v = a.victim(640);
+    a.fill(v, 640);
+    v.payload = 5;
+    Line *found = a.find(640);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->payload, 5);
+    EXPECT_EQ(found->block, 640u);
+    // Unaligned lookups resolve to the block.
+    EXPECT_EQ(a.find(645), found);
+}
+
+TEST(CacheArray, InvalidWaysPreferredAsVictims)
+{
+    CacheArray<Line> a(4_KiB, 4);
+    for (unsigned i = 0; i < 4; ++i) {
+        Line &v = a.victim(conflicting(a, i));
+        EXPECT_FALSE(v.valid);
+        a.fill(v, conflicting(a, i));
+    }
+    // Set now full: next victim must be a valid line.
+    Line &v = a.victim(conflicting(a, 4));
+    EXPECT_TRUE(v.valid);
+}
+
+TEST(CacheArray, LruEvictsLeastRecentlyTouched)
+{
+    CacheArray<Line> a(4_KiB, 4, ReplPolicy::Lru);
+    for (unsigned i = 0; i < 4; ++i)
+        a.fill(a.victim(conflicting(a, i)), conflicting(a, i));
+    // Touch 0, 2, 3: block 1 becomes LRU.
+    a.touch(*a.find(conflicting(a, 0)));
+    a.touch(*a.find(conflicting(a, 2)));
+    a.touch(*a.find(conflicting(a, 3)));
+    EXPECT_EQ(a.victim(conflicting(a, 4)).block, conflicting(a, 1));
+}
+
+TEST(CacheArray, FifoIgnoresTouches)
+{
+    CacheArray<Line> a(4_KiB, 4, ReplPolicy::Fifo);
+    for (unsigned i = 0; i < 4; ++i)
+        a.fill(a.victim(conflicting(a, i)), conflicting(a, i));
+    // Touch the oldest heavily: FIFO still evicts it.
+    for (int i = 0; i < 10; ++i)
+        a.touch(*a.find(conflicting(a, 0)));
+    EXPECT_EQ(a.victim(conflicting(a, 4)).block, conflicting(a, 0));
+}
+
+TEST(CacheArray, InvalidateFreesLine)
+{
+    CacheArray<Line> a(4_KiB, 4);
+    Line &v = a.victim(0);
+    a.fill(v, 0);
+    a.invalidate(v);
+    EXPECT_EQ(a.find(0), nullptr);
+    EXPECT_FALSE(v.valid);
+}
+
+TEST(CacheArray, ForEachValidVisitsExactlyValidLines)
+{
+    CacheArray<Line> a(4_KiB, 4);
+    a.fill(a.victim(0), 0);
+    a.fill(a.victim(kBlockSize), kBlockSize);
+    std::set<Addr> seen;
+    a.forEachValid([&](Line &l) { seen.insert(l.block); });
+    EXPECT_EQ(seen, (std::set<Addr>{0, kBlockSize}));
+}
+
+TEST(CacheArray, VictimWhereProtectsIneligible)
+{
+    CacheArray<Line> a(4_KiB, 4, ReplPolicy::Lru);
+    for (unsigned i = 0; i < 4; ++i)
+        a.fill(a.victim(conflicting(a, i)), conflicting(a, i));
+    // Protect the LRU line (block 0); the next-oldest is chosen.
+    Line &v = a.victimWhere(conflicting(a, 4), [&](const Line &l) {
+        return l.block != conflicting(a, 0);
+    });
+    EXPECT_EQ(v.block, conflicting(a, 1));
+}
+
+TEST(CacheArray, VictimWhereCapsProtectionAtHalfTheWays)
+{
+    CacheArray<Line> a(4_KiB, 4, ReplPolicy::Lru);
+    for (unsigned i = 0; i < 4; ++i)
+        a.fill(a.victim(conflicting(a, i)), conflicting(a, i));
+    // Protecting 3 of 4 ways exceeds the cap: plain LRU wins.
+    Line &v = a.victimWhere(conflicting(a, 4), [&](const Line &l) {
+        return l.block == conflicting(a, 3);
+    });
+    EXPECT_EQ(v.block, conflicting(a, 0));
+}
+
+TEST(CacheArray, VictimWhereFallsBackWhenNoneEligible)
+{
+    CacheArray<Line> a(4_KiB, 4, ReplPolicy::Lru);
+    for (unsigned i = 0; i < 4; ++i)
+        a.fill(a.victim(conflicting(a, i)), conflicting(a, i));
+    Line &v =
+        a.victimWhere(conflicting(a, 4), [](const Line &) { return false; });
+    EXPECT_EQ(v.block, conflicting(a, 0)); // unrestricted LRU choice
+}
+
+// ---------------------------------------------------------------------
+// Parameterized over all replacement policies.
+// ---------------------------------------------------------------------
+
+class CacheArrayPolicy : public ::testing::TestWithParam<ReplPolicy>
+{
+};
+
+TEST_P(CacheArrayPolicy, FullSetAlwaysYieldsValidVictim)
+{
+    CacheArray<Line> a(4_KiB, 4, GetParam());
+    for (unsigned i = 0; i < 4; ++i)
+        a.fill(a.victim(conflicting(a, i)), conflicting(a, i));
+    for (unsigned round = 0; round < 20; ++round) {
+        Line &v = a.victim(conflicting(a, 4 + round));
+        EXPECT_TRUE(v.valid);
+        a.fill(v, conflicting(a, 4 + round));
+    }
+}
+
+TEST_P(CacheArrayPolicy, FindNeverReturnsWrongBlock)
+{
+    CacheArray<Line> a(8_KiB, 4, GetParam());
+    Rng rng(3);
+    std::set<Addr> resident;
+    for (int i = 0; i < 2000; ++i) {
+        Addr block = blockAlign(rng.below(64) * kBlockSize);
+        Line *found = a.find(block);
+        if (found) {
+            EXPECT_EQ(found->block, block);
+        } else {
+            Line &v = a.victim(block);
+            if (v.valid)
+                resident.erase(v.block);
+            a.fill(v, block);
+            resident.insert(block);
+        }
+    }
+    // Every resident block is findable.
+    for (Addr b : resident)
+        EXPECT_NE(a.find(b), nullptr);
+}
+
+TEST_P(CacheArrayPolicy, CapacityNeverExceeded)
+{
+    CacheArray<Line> a(4_KiB, 4, GetParam());
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        Addr block = blockAlign(rng.below(1024) * kBlockSize);
+        if (!a.find(block)) {
+            Line &v = a.victim(block);
+            a.fill(v, block);
+        }
+        std::size_t valid = 0;
+        a.forEachValid([&](Line &) { ++valid; });
+        EXPECT_LE(valid, a.numLines());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CacheArrayPolicy,
+                         ::testing::Values(ReplPolicy::Lru,
+                                           ReplPolicy::Fifo,
+                                           ReplPolicy::Random),
+                         [](const auto &param_info) {
+                             return replPolicyName(param_info.param);
+                         });

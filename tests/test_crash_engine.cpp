@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the crash engine: what each persistency mode drains on
+ * failure, what survives, and what the drain costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/system.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+SystemConfig
+smallCfg(PersistMode mode)
+{
+    SystemConfig cfg;
+    cfg.num_cores = 2;
+    cfg.l1d.size_bytes = 8_KiB;
+    cfg.llc.size_bytes = 32_KiB;
+    cfg.dram.size_bytes = 64_MiB;
+    cfg.nvmm.size_bytes = 64_MiB;
+    cfg.mode = mode;
+    return cfg;
+}
+
+/** Run a thread that stores `n` values to persistent blocks, then crash
+ *  immediately without letting buffers settle naturally. */
+CrashReport
+storeAndCrash(System &sys, unsigned n, Addr base)
+{
+    sys.onThread(0, [&, n](ThreadContext &tc) {
+        for (unsigned i = 0; i < n; ++i)
+            tc.store64(base + i * kBlockSize, i + 1);
+    });
+    sys.run();
+    return sys.crashNow();
+}
+
+} // namespace
+
+TEST(CrashEngine, AdrLosesCachedStores)
+{
+    System sys(smallCfg(PersistMode::AdrUnsafe));
+    Addr base = sys.heap().alloc(0, 16 * kBlockSize, 64);
+    CrashReport rep = storeAndCrash(sys, 4, base);
+    EXPECT_EQ(rep.bbpb_blocks, 0u);
+    EXPECT_EQ(rep.cache_blocks_l1 + rep.cache_blocks_llc, 0u);
+    // Values never left the (lost) caches.
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(sys.pmemImage().read64(base + i * kBlockSize), 0u);
+}
+
+TEST(CrashEngine, EadrDrainsDirtyCaches)
+{
+    System sys(smallCfg(PersistMode::Eadr));
+    Addr base = sys.heap().alloc(0, 16 * kBlockSize, 64);
+    CrashReport rep = storeAndCrash(sys, 4, base);
+    EXPECT_EQ(rep.cache_blocks_l1 + rep.cache_blocks_llc, 4u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(sys.pmemImage().read64(base + i * kBlockSize), i + 1);
+}
+
+TEST(CrashEngine, BbbDrainsBbpbEntries)
+{
+    SystemConfig cfg = smallCfg(PersistMode::BbbMemSide);
+    cfg.bbpb.entries = 16;
+    cfg.bbpb.drain_threshold = 1.0; // keep everything buffered
+    System sys(cfg);
+    Addr base = sys.heap().alloc(0, 16 * kBlockSize, 64);
+    CrashReport rep = storeAndCrash(sys, 4, base);
+    EXPECT_EQ(rep.bbpb_blocks, 4u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(sys.pmemImage().read64(base + i * kBlockSize), i + 1);
+}
+
+TEST(CrashEngine, WpqAlwaysDrains)
+{
+    // Even plain ADR persists whatever reached the WPQ: flush then crash
+    // before retirement is still durable.
+    System sys(smallCfg(PersistMode::AdrPmem));
+    Addr a = sys.heap().alloc(0, 8);
+    sys.onThread(0, [&](ThreadContext &tc) {
+        tc.store64(a, 0xcafe);
+        tc.writeBack(a);
+        tc.persistBarrier();
+    });
+    // Stop the instant the thread finishes: the WPQ may not have retired.
+    for (CoreId c = 0; c < sys.numCores(); ++c)
+        sys.core(c).start();
+    while (!sys.core(0).finished() && sys.eventQueue().step()) {
+    }
+    CrashReport rep = sys.crashNow();
+    (void)rep;
+    EXPECT_EQ(sys.pmemImage().read64(a), 0xcafeu);
+}
+
+TEST(CrashEngine, BatteryBackedSbDrainsInProgramOrder)
+{
+    SystemConfig cfg = smallCfg(PersistMode::BbbMemSide);
+    cfg.relaxed_consistency = true; // battery-backed SB (Section III-C)
+    System sys(cfg);
+    Addr a = sys.heap().alloc(0, 2 * kBlockSize, 64);
+    sys.onThread(0, [&](ThreadContext &tc) {
+        tc.store64(a, 1);
+        tc.store64(a + kBlockSize, 2);
+    });
+    // Crash at once: stores may still sit in the store buffer.
+    for (CoreId c = 0; c < sys.numCores(); ++c)
+        sys.core(c).start();
+    while (!sys.core(0).finished() && sys.eventQueue().step()) {
+    }
+    CrashReport rep = sys.crashNow();
+    (void)rep;
+    EXPECT_EQ(sys.pmemImage().read64(a), 1u);
+    EXPECT_EQ(sys.pmemImage().read64(a + kBlockSize), 2u);
+}
+
+TEST(CrashEngine, VolatileSbEntriesAreLostWithoutBattery)
+{
+    SystemConfig cfg = smallCfg(PersistMode::BbbMemSide);
+    cfg.relaxed_consistency = false; // TSO: no battery-backed SB needed
+    cfg.store_buffer.entries = 32;
+    System sys(cfg);
+    Addr a = sys.heap().alloc(0, 8);
+    // Crash at tick 0-ish: the store cannot have left the SB.
+    sys.onThread(0, [&](ThreadContext &tc) { tc.store64(a, 7); });
+    CrashReport rep = sys.runAndCrashAt(sys.config().cycles(2));
+    EXPECT_EQ(rep.sb_entries, 0u);
+}
+
+TEST(CrashEngine, ReportsDrainCosts)
+{
+    SystemConfig cfg = smallCfg(PersistMode::BbbMemSide);
+    cfg.bbpb.drain_threshold = 1.0;
+    System sys(cfg);
+    Addr base = sys.heap().alloc(0, 16 * kBlockSize, 64);
+    CrashReport rep = storeAndCrash(sys, 4, base);
+    EXPECT_EQ(rep.mode, PersistMode::BbbMemSide);
+    EXPECT_GE(rep.drained_bytes, 4 * kBlockSize);
+    EXPECT_GT(rep.drain_energy_j, 0.0);
+    EXPECT_GT(rep.drain_time_s, 0.0);
+    // BBB's drain energy must be tiny: well under a millijoule here.
+    EXPECT_LT(rep.drain_energy_j, 1e-3);
+}
+
+TEST(CrashEngine, EadrDrainCostExceedsBbb)
+{
+    auto run = [&](PersistMode mode) {
+        SystemConfig cfg = smallCfg(mode);
+        cfg.bbpb.drain_threshold = 1.0;
+        System sys(cfg);
+        Addr base = sys.heap().alloc(0, 512 * kBlockSize, 64);
+        return storeAndCrash(sys, 200, base).drain_energy_j;
+    };
+    double eadr = run(PersistMode::Eadr);
+    double bbb = run(PersistMode::BbbMemSide);
+    EXPECT_GT(eadr, bbb);
+}
+
+TEST(CrashEngine, SecondCrashPanics)
+{
+    System sys(smallCfg(PersistMode::Eadr));
+    sys.onThread(0, [](ThreadContext &tc) { tc.compute(1); });
+    sys.run();
+    sys.crashNow();
+    EXPECT_DEATH(sys.crashNow(), "already crashed");
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue: temporal ordering, priority
+ * buckets, FIFO tie-breaking, cancellation, and bounded runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace bbb;
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickRespectsPriority)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&]() { order.push_back(2); }, EventPriority::CoreOp);
+    eq.schedule(5, [&]() { order.push_back(1); },
+                EventPriority::DrainComplete);
+    eq.schedule(5, [&]() { order.push_back(3); }, EventPriority::Stats);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickSamePriorityIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(7, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = kMaxTick;
+    eq.schedule(100, [&]() {
+        eq.scheduleIn(50, [&]() { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, DescheduleCancelsEvent)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule(10, [&]() { fired = true; });
+    eq.deschedule(id);
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, DescheduleAfterFireIsSafe)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, []() {});
+    eq.run();
+    eq.deschedule(id); // must not crash or affect later events
+    bool fired = false;
+    eq.schedule(20, [&]() { fired = true; });
+    eq.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, RunStopsAtMaxTick)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&]() { ++count; });
+    eq.schedule(20, [&]() { ++count; });
+    eq.schedule(30, [&]() { ++count; });
+    eq.run(20);
+    EXPECT_EQ(count, 2);
+    eq.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, StepExecutesOneEvent)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&]() { ++count; });
+    eq.schedule(2, [&]() { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 100)
+            eq.scheduleIn(1, chain);
+    };
+    eq.scheduleIn(1, chain);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, ExecutedCounterCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(static_cast<Tick>(i), []() {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueue, ZeroDelayEventRunsAtCurrentTick)
+{
+    EventQueue eq;
+    Tick seen = kMaxTick;
+    eq.schedule(42, [&]() {
+        eq.scheduleIn(0, [&]() { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueueDeath, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, []() {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, []() {}), "scheduling into the past");
+}

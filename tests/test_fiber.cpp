@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the fiber (stackful coroutine) support.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fiber.hh"
+
+using namespace bbb;
+
+TEST(Fiber, RunsToCompletionWithoutYield)
+{
+    int x = 0;
+    Fiber f([&]() { x = 42; });
+    EXPECT_FALSE(f.finished());
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes)
+{
+    std::vector<int> trace;
+    Fiber f([&]() {
+        trace.push_back(1);
+        Fiber::yield();
+        trace.push_back(3);
+        Fiber::yield();
+        trace.push_back(5);
+    });
+    f.resume();
+    trace.push_back(2);
+    f.resume();
+    trace.push_back(4);
+    EXPECT_FALSE(f.finished());
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, MultipleFibersInterleave)
+{
+    std::vector<int> trace;
+    Fiber a([&]() {
+        trace.push_back(10);
+        Fiber::yield();
+        trace.push_back(11);
+    });
+    Fiber b([&]() {
+        trace.push_back(20);
+        Fiber::yield();
+        trace.push_back(21);
+    });
+    a.resume();
+    b.resume();
+    a.resume();
+    b.resume();
+    EXPECT_EQ(trace, (std::vector<int>{10, 20, 11, 21}));
+    EXPECT_TRUE(a.finished() && b.finished());
+}
+
+TEST(Fiber, InFiberReflectsContext)
+{
+    EXPECT_FALSE(Fiber::inFiber());
+    bool inside = false;
+    Fiber f([&]() { inside = Fiber::inFiber(); });
+    f.resume();
+    EXPECT_TRUE(inside);
+    EXPECT_FALSE(Fiber::inFiber());
+}
+
+TEST(Fiber, DeepCallStackSurvives)
+{
+    // Recursion exercises the private stack.
+    std::function<std::uint64_t(unsigned)> fib = [&](unsigned n) {
+        return n < 2 ? n : fib(n - 1) + fib(n - 2);
+    };
+    std::uint64_t result = 0;
+    Fiber f([&]() { result = fib(20); });
+    f.resume();
+    EXPECT_EQ(result, 6765u);
+}
+
+TEST(Fiber, YieldInsideNestedCalls)
+{
+    int stage = 0;
+    std::function<void(int)> descend = [&](int depth) {
+        if (depth == 0) {
+            stage = 1;
+            Fiber::yield();
+            stage = 2;
+            return;
+        }
+        descend(depth - 1);
+    };
+    Fiber f([&]() { descend(30); });
+    f.resume();
+    EXPECT_EQ(stage, 1);
+    f.resume();
+    EXPECT_EQ(stage, 2);
+    EXPECT_TRUE(f.finished());
+}
+
+TEST(FiberDeath, ResumingFinishedFiberPanics)
+{
+    Fiber f([]() {});
+    f.resume();
+    EXPECT_DEATH(f.resume(), "finished");
+}
+
+TEST(FiberDeath, YieldOutsideFiberPanics)
+{
+    EXPECT_DEATH(Fiber::yield(), "outside");
+}

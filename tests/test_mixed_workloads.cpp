@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Heterogeneous workload mixes: different workloads on different core
+ * ranges of one machine, sharing the caches, the NVMM, and the bbPBs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/system.hh"
+#include "workloads/workload.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+SystemConfig
+cfg4(PersistMode mode)
+{
+    SystemConfig c;
+    c.num_cores = 4;
+    c.l1d.size_bytes = 8_KiB;
+    c.llc.size_bytes = 64_KiB;
+    c.dram.size_bytes = 128_MiB;
+    c.nvmm.size_bytes = 128_MiB;
+    c.mode = mode;
+    return c;
+}
+
+WorkloadParams
+ranged(unsigned offset, unsigned count)
+{
+    WorkloadParams p;
+    p.ops_per_thread = 150;
+    p.initial_elements = 150;
+    p.array_elements = 1 << 12;
+    p.thread_offset = offset;
+    p.thread_count = count;
+    return p;
+}
+
+} // namespace
+
+TEST(MixedWorkloads, RangedWorkloadUsesOnlyItsCores)
+{
+    System sys(cfg4(PersistMode::BbbMemSide));
+    auto wl = makeWorkload("hashmap", ranged(1, 2));
+    wl->install(sys);
+    sys.run();
+    EXPECT_EQ(sys.stats().lookup("core0", "ops"), 0u);
+    EXPECT_GT(sys.stats().lookup("core1", "ops"), 0u);
+    EXPECT_GT(sys.stats().lookup("core2", "ops"), 0u);
+    EXPECT_EQ(sys.stats().lookup("core3", "ops"), 0u);
+}
+
+TEST(MixedWorkloads, TwoWorkloadsShareOneMachine)
+{
+    System sys(cfg4(PersistMode::BbbMemSide));
+    auto trees = makeWorkload("ctree", ranged(0, 2));
+    auto arrays = makeWorkload("mutateC", ranged(2, 2));
+    trees->install(sys);
+    arrays->install(sys);
+    sys.run();
+    sys.checkInvariants();
+    sys.crashNow();
+
+    RecoveryResult tree_res = trees->checkRecovery(sys.pmemImage());
+    RecoveryResult array_res = arrays->checkRecovery(sys.pmemImage());
+    EXPECT_TRUE(tree_res.consistent());
+    EXPECT_TRUE(array_res.consistent());
+    // Both actually did work.
+    EXPECT_EQ(tree_res.checked, 2 * 300u);
+    EXPECT_EQ(array_res.checked, 1u << 12);
+}
+
+TEST(MixedWorkloads, MixesRunUnderEveryMode)
+{
+    for (PersistMode mode :
+         {PersistMode::AdrPmem, PersistMode::Eadr, PersistMode::BbbMemSide,
+          PersistMode::BbbProcSide}) {
+        System sys(cfg4(mode));
+        auto a = makeWorkload("linkedlist", ranged(0, 1));
+        auto b = makeWorkload("rtree", ranged(1, 1));
+        auto c = makeWorkload("btree", ranged(2, 1));
+        auto d = makeWorkload("swapNC", ranged(3, 1));
+        a->install(sys);
+        b->install(sys);
+        c->install(sys);
+        d->install(sys);
+        sys.run();
+        sys.checkInvariants();
+        sys.crashNow();
+        EXPECT_TRUE(a->checkRecovery(sys.pmemImage()).consistent())
+            << persistModeName(mode);
+        EXPECT_TRUE(b->checkRecovery(sys.pmemImage()).consistent())
+            << persistModeName(mode);
+        EXPECT_TRUE(c->checkRecovery(sys.pmemImage()).consistent())
+            << persistModeName(mode);
+        EXPECT_TRUE(d->checkRecovery(sys.pmemImage()).consistent())
+            << persistModeName(mode);
+    }
+}
+
+TEST(MixedWorkloads, MixedCrashMidRunStaysConsistent)
+{
+    System sys(cfg4(PersistMode::BbbMemSide));
+    WorkloadParams p1 = ranged(0, 2);
+    WorkloadParams p2 = ranged(2, 2);
+    p1.ops_per_thread = 2000;
+    p2.ops_per_thread = 2000;
+    auto a = makeWorkload("hashmap", p1);
+    auto b = makeWorkload("ctree", p2);
+    a->install(sys);
+    b->install(sys);
+    sys.runAndCrashAt(nsToTicks(30000));
+    EXPECT_TRUE(a->checkRecovery(sys.pmemImage()).consistent());
+    EXPECT_TRUE(b->checkRecovery(sys.pmemImage()).consistent());
+}
+
+TEST(MixedWorkloads, DefaultRangeIsAllCores)
+{
+    System sys(cfg4(PersistMode::BbbMemSide));
+    WorkloadParams p;
+    p.ops_per_thread = 50;
+    p.initial_elements = 50;
+    auto wl = makeWorkload("linkedlist", p);
+    wl->install(sys);
+    sys.run();
+    for (CoreId c = 0; c < 4; ++c) {
+        EXPECT_GT(sys.stats().lookup("core" + std::to_string(c), "ops"), 0u)
+            << "core " << c;
+    }
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the persistent heap allocator and the energy/battery
+ * model. The energy tests pin our model to the paper's published numbers
+ * (Tables VI-X).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+#include "mem/addr_map.hh"
+#include "persist/palloc.hh"
+
+using namespace bbb;
+
+namespace
+{
+AddrMap
+map1()
+{
+    return AddrMap(1_GiB, 1_GiB);
+}
+} // namespace
+
+TEST(Palloc, AllocationsAreInPersistentRange)
+{
+    AddrMap map = map1();
+    PersistentHeap heap(map, 4);
+    for (unsigned arena = 0; arena < 4; ++arena) {
+        Addr a = heap.alloc(arena, 24);
+        EXPECT_TRUE(map.isPersistent(a));
+        EXPECT_TRUE(map.isPersistent(a + 23));
+    }
+}
+
+TEST(Palloc, ArenasAreDisjoint)
+{
+    AddrMap map = map1();
+    PersistentHeap heap(map, 4);
+    Addr a0 = heap.alloc(0, 64);
+    Addr a1 = heap.alloc(1, 64);
+    EXPECT_GE(a1, heap.arenaBase(1));
+    EXPECT_LT(a0, heap.arenaBase(1));
+}
+
+TEST(Palloc, RespectsAlignment)
+{
+    AddrMap map = map1();
+    PersistentHeap heap(map, 1);
+    heap.alloc(0, 3); // misalign the frontier
+    Addr a = heap.alloc(0, 32, 32);
+    EXPECT_EQ(a % 32, 0u);
+    Addr b = heap.alloc(0, 64, 64);
+    EXPECT_EQ(b % 64, 0u);
+}
+
+TEST(Palloc, SubBlockObjectsNeverStraddleBlocks)
+{
+    AddrMap map = map1();
+    PersistentHeap heap(map, 1);
+    for (int i = 0; i < 200; ++i) {
+        Addr a = heap.alloc(0, 24);
+        EXPECT_EQ(blockAlign(a), blockAlign(a + 23))
+            << "allocation " << i << " straddles a block";
+    }
+}
+
+TEST(Palloc, RootSlotsAreDistinctAndInHeader)
+{
+    AddrMap map = map1();
+    PersistentHeap heap(map, 1);
+    for (unsigned i = 0; i + 1 < PersistentHeap::kRootSlots; ++i) {
+        EXPECT_EQ(heap.rootAddr(i + 1) - heap.rootAddr(i), 8u);
+        EXPECT_LT(heap.rootAddr(i),
+                  map.persistBase() + PersistentHeap::kHeaderBytes);
+    }
+    Addr first = heap.alloc(0, 8);
+    EXPECT_GE(first, map.persistBase() + PersistentHeap::kHeaderBytes);
+}
+
+TEST(Palloc, AllocatedTracksUsage)
+{
+    AddrMap map = map1();
+    PersistentHeap heap(map, 2);
+    EXPECT_EQ(heap.allocated(0), 0u);
+    heap.alloc(0, 100);
+    EXPECT_GE(heap.allocated(0), 100u);
+    EXPECT_EQ(heap.allocated(1), 0u);
+}
+
+TEST(PallocDeath, BadArenaAndSlotPanic)
+{
+    AddrMap map = map1();
+    PersistentHeap heap(map, 2);
+    EXPECT_DEATH(heap.alloc(5, 8), "arena");
+    EXPECT_DEATH(heap.rootAddr(99), "root slot");
+}
+
+// ---------------------------------------------------------------------
+// Energy model vs the paper's published tables.
+// ---------------------------------------------------------------------
+
+TEST(Energy, TableVII_DrainEnergy)
+{
+    DrainCostModel mobile(mobilePlatform());
+    EXPECT_NEAR(mobile.eadrDrainEnergyJ() * 1e3, 46.5, 0.5);  // mJ
+    EXPECT_NEAR(mobile.bbbDrainEnergyJ(32) * 1e6, 145.0, 2.0); // uJ
+
+    DrainCostModel server(serverPlatform());
+    EXPECT_NEAR(server.eadrDrainEnergyJ() * 1e3, 550.0, 5.0);
+    EXPECT_NEAR(server.bbbDrainEnergyJ(32) * 1e6, 775.0, 5.0);
+
+    EXPECT_NEAR(mobile.eadrDrainEnergyJ() / mobile.bbbDrainEnergyJ(32),
+                320.0, 5.0);
+    EXPECT_NEAR(server.eadrDrainEnergyJ() / server.bbbDrainEnergyJ(32),
+                709.0, 10.0);
+}
+
+TEST(Energy, TableVIII_DrainTime)
+{
+    DrainCostModel mobile(mobilePlatform());
+    EXPECT_NEAR(mobile.eadrDrainTimeS() * 1e3, 0.8, 0.15); // ms
+    EXPECT_NEAR(mobile.bbbDrainTimeS(32) * 1e6, 2.6, 0.2); // us
+
+    DrainCostModel server(serverPlatform());
+    EXPECT_NEAR(server.eadrDrainTimeS() * 1e3, 1.8, 0.1);
+    EXPECT_NEAR(server.bbbDrainTimeS(32) * 1e6, 2.4, 0.1);
+}
+
+TEST(Energy, TableIX_BatteryVolumes)
+{
+    DrainCostModel mobile(mobilePlatform());
+    EXPECT_NEAR(mobile.eadrBatteryVolumeMm3(BatteryTech::SuperCap), 2900.0,
+                50.0);
+    EXPECT_NEAR(mobile.eadrBatteryVolumeMm3(BatteryTech::LiThin), 30.0,
+                2.0);
+    EXPECT_NEAR(mobile.bbbBatteryVolumeMm3(BatteryTech::SuperCap, 32), 4.1,
+                0.1);
+    EXPECT_NEAR(mobile.bbbBatteryVolumeMm3(BatteryTech::LiThin, 32), 0.04,
+                0.005);
+
+    DrainCostModel server(serverPlatform());
+    EXPECT_NEAR(server.eadrBatteryVolumeMm3(BatteryTech::SuperCap), 34000,
+                500);
+    EXPECT_NEAR(server.bbbBatteryVolumeMm3(BatteryTech::SuperCap, 32),
+                21.6, 0.2);
+    EXPECT_NEAR(server.bbbBatteryVolumeMm3(BatteryTech::LiThin, 32), 0.21,
+                0.01);
+}
+
+TEST(Energy, TableIX_AreaRatios)
+{
+    DrainCostModel mobile(mobilePlatform());
+    double bbb_sc = mobile.bbbBatteryVolumeMm3(BatteryTech::SuperCap, 32);
+    EXPECT_NEAR(mobile.areaRatioToCore(bbb_sc), 0.972, 0.02);
+    double bbb_li = mobile.bbbBatteryVolumeMm3(BatteryTech::LiThin, 32);
+    EXPECT_NEAR(mobile.areaRatioToCore(bbb_li), 0.045, 0.005);
+    double eadr_sc = mobile.eadrBatteryVolumeMm3(BatteryTech::SuperCap);
+    EXPECT_NEAR(mobile.areaRatioToCore(eadr_sc), 77.0, 2.0);
+}
+
+TEST(Energy, TableX_Sweep)
+{
+    DrainCostModel mobile(mobilePlatform());
+    DrainCostModel server(serverPlatform());
+    const unsigned sizes[] = {1, 4, 16, 32, 64, 256, 1024};
+    const double paper_mobile[] = {0.12, 0.50, 2.02, 4.1,
+                                   8.1, 32.3, 129.3};
+    const double paper_server[] = {0.7, 2.7, 10.8, 21.6,
+                                   43.1, 172.4, 689.7};
+    for (unsigned i = 0; i < 7; ++i) {
+        EXPECT_NEAR(
+            mobile.bbbBatteryVolumeMm3(BatteryTech::SuperCap, sizes[i]),
+            paper_mobile[i], paper_mobile[i] * 0.06 + 0.01);
+        EXPECT_NEAR(
+            server.bbbBatteryVolumeMm3(BatteryTech::SuperCap, sizes[i]),
+            paper_server[i], paper_server[i] * 0.06 + 0.01);
+    }
+}
+
+TEST(Energy, ScalesLinearlyWithEntries)
+{
+    DrainCostModel m(mobilePlatform());
+    EXPECT_DOUBLE_EQ(m.bbbDrainEnergyJ(64), 2 * m.bbbDrainEnergyJ(32));
+    EXPECT_DOUBLE_EQ(m.bbbDrainTimeS(64), 2 * m.bbbDrainTimeS(32));
+}
+
+TEST(Energy, DrainEnergyDecomposition)
+{
+    DrainCostModel m(mobilePlatform());
+    // L1 bytes cost more per byte than L2 bytes.
+    EXPECT_GT(m.drainEnergyJ(1024, 0, 0), m.drainEnergyJ(0, 1024, 0));
+    // L3 is charged at the L2 rate.
+    EXPECT_DOUBLE_EQ(m.drainEnergyJ(0, 1024, 0),
+                     m.drainEnergyJ(0, 0, 1024));
+}
+
+TEST(Energy, FootprintIsCubeFace)
+{
+    EXPECT_DOUBLE_EQ(DrainCostModel::footprintAreaMm2(27.0), 9.0);
+    EXPECT_DOUBLE_EQ(DrainCostModel::footprintAreaMm2(1000.0), 100.0);
+}
+
+TEST(Energy, BatteryTechNames)
+{
+    EXPECT_STREQ(batteryTechName(BatteryTech::SuperCap), "SuperCap");
+    EXPECT_STREQ(batteryTechName(BatteryTech::LiThin), "Li-thin");
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for the persistency-backend interface layer: the null backend's
+ * contract (used by ADR/PMEM/eADR modes) and record plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/persist_backend.hh"
+
+using namespace bbb;
+
+TEST(NullBackend, AcceptsEverythingHoldsNothing)
+{
+    NullPersistencyBackend backend;
+    EXPECT_TRUE(backend.canAcceptPersist(0, 0));
+    EXPECT_TRUE(backend.canAcceptPersist(63, 1_GiB));
+
+    BlockData data;
+    backend.persistStore(0, 4096, 8, data); // must be a harmless no-op
+    EXPECT_FALSE(backend.holds(0, 4096));
+    EXPECT_EQ(backend.occupancy(), 0u);
+}
+
+TEST(NullBackend, HooksAreNoops)
+{
+    NullPersistencyBackend backend;
+    BlockData data;
+    backend.onInvalidateForWrite(0, 64);
+    backend.onForcedDrain(64, data);
+    EXPECT_FALSE(backend.skipLlcWriteback(64)); // normal writebacks
+    EXPECT_TRUE(backend.crashDrain().empty());
+}
+
+TEST(PersistRecord, CarriesBlockAndData)
+{
+    BlockData data;
+    data.bytes.fill(0x5a);
+    PersistRecord rec{128, data};
+    EXPECT_EQ(rec.block, 128u);
+    EXPECT_EQ(rec.data.bytes[63], 0x5a);
+}
+
+TEST(BlockData, CopyHelpers)
+{
+    unsigned char raw[kBlockSize];
+    for (unsigned i = 0; i < kBlockSize; ++i)
+        raw[i] = static_cast<unsigned char>(i * 3);
+    BlockData d;
+    d.copyFrom(raw);
+    unsigned char out[kBlockSize] = {};
+    d.copyTo(out);
+    EXPECT_EQ(std::memcmp(raw, out, kBlockSize), 0);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace bbb;
+
+TEST(StatCounter, IncrementAndAdd)
+{
+    StatCounter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    EXPECT_EQ(c.value(), 1u);
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.set(7);
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatAverage, MeanSumCount)
+{
+    StatAverage a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 60.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(StatHistogram, BucketsAndOverflow)
+{
+    StatHistogram h(4, 10); // [0,10) [10,20) [20,30) [30,40) + overflow
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(35);
+    h.sample(1000);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u); // overflow
+    EXPECT_EQ(h.maxSample(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 9 + 10 + 35 + 1000) / 5.0);
+}
+
+TEST(StatHistogram, Reset)
+{
+    StatHistogram h(4, 1);
+    h.sample(2);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.maxSample(), 0u);
+}
+
+TEST(StatGroup, DumpContainsNamesAndValues)
+{
+    StatGroup g("mygroup");
+    StatCounter c;
+    c += 42;
+    g.addCounter("answer", &c, "the answer");
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("mygroup.answer"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("the answer"), std::string::npos);
+}
+
+TEST(StatGroup, CounterValueLookup)
+{
+    StatGroup g("g");
+    StatCounter c;
+    c += 5;
+    g.addCounter("x", &c);
+    EXPECT_EQ(g.counterValue("x"), 5u);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+}
+
+TEST(StatGroup, ResetZeroesEverything)
+{
+    StatGroup g("g");
+    StatCounter c;
+    StatAverage a;
+    StatHistogram h;
+    c += 3;
+    a.sample(1.5);
+    h.sample(7);
+    g.addCounter("c", &c);
+    g.addAverage("a", &a);
+    g.addHistogram("h", &h);
+    g.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(h.samples(), 0u);
+}
+
+TEST(StatRegistry, GroupCreatesOnce)
+{
+    StatRegistry reg;
+    StatGroup &a = reg.group("one");
+    StatGroup &b = reg.group("one");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(StatRegistry, LookupAcrossGroups)
+{
+    StatRegistry reg;
+    StatCounter c;
+    c += 9;
+    reg.group("alpha").addCounter("n", &c);
+    EXPECT_EQ(reg.lookup("alpha", "n"), 9u);
+    EXPECT_EQ(reg.lookup("alpha", "m"), 0u);
+    EXPECT_EQ(reg.lookup("beta", "n"), 0u);
+}
+
+TEST(StatRegistry, DumpAllInRegistrationOrder)
+{
+    StatRegistry reg;
+    StatCounter c1, c2;
+    reg.group("zzz").addCounter("a", &c1);
+    reg.group("aaa").addCounter("b", &c2);
+    std::ostringstream os;
+    reg.dumpAll(os);
+    std::string out = os.str();
+    EXPECT_LT(out.find("zzz.a"), out.find("aaa.b"));
+}

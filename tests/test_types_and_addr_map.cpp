@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the scalar type helpers and the physical address map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr_map.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+using namespace bbb;
+
+TEST(Types, BlockAlignment)
+{
+    EXPECT_EQ(blockAlign(0), 0u);
+    EXPECT_EQ(blockAlign(63), 0u);
+    EXPECT_EQ(blockAlign(64), 64u);
+    EXPECT_EQ(blockAlign(130), 128u);
+    EXPECT_EQ(blockOffset(130), 2u);
+    EXPECT_EQ(blockOffset(64), 0u);
+}
+
+TEST(Types, WithinBlock)
+{
+    EXPECT_TRUE(withinBlock(0, 64));
+    EXPECT_TRUE(withinBlock(56, 8));
+    EXPECT_FALSE(withinBlock(60, 8));
+    EXPECT_TRUE(withinBlock(63, 1));
+    EXPECT_FALSE(withinBlock(63, 2));
+}
+
+TEST(Types, UnitLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(1_MiB, 1024u * 1024u);
+    EXPECT_EQ(2_GiB, 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(Types, TickConversions)
+{
+    EXPECT_EQ(nsToTicks(1), 1000u);
+    EXPECT_EQ(nsToTicks(55), 55000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(1500), 1.5);
+}
+
+TEST(Config, CyclePeriodAt2GHz)
+{
+    SystemConfig cfg;
+    cfg.clock_mhz = 2000;
+    EXPECT_EQ(cfg.cyclePeriod(), 500u); // 0.5 ns in ps
+    EXPECT_EQ(cfg.cycles(4), 2000u);
+}
+
+TEST(Config, ModeNamesAndBbpbUse)
+{
+    EXPECT_STREQ(persistModeName(PersistMode::BbbMemSide), "bbb-mem-side");
+    EXPECT_STREQ(persistModeName(PersistMode::Eadr), "eadr");
+    SystemConfig cfg;
+    cfg.mode = PersistMode::BbbProcSide;
+    EXPECT_TRUE(cfg.usesBbpb());
+    cfg.mode = PersistMode::AdrPmem;
+    EXPECT_FALSE(cfg.usesBbpb());
+}
+
+TEST(AddrMap, LayoutIsContiguous)
+{
+    AddrMap map(1_GiB, 2_GiB);
+    EXPECT_EQ(map.dramBase(), 0u);
+    EXPECT_EQ(map.dramSize(), 1_GiB);
+    EXPECT_EQ(map.nvmmBase(), 1_GiB);
+    EXPECT_EQ(map.nvmmSize(), 2_GiB);
+    EXPECT_EQ(map.end(), 3_GiB);
+    EXPECT_EQ(map.persistBase(), 1_GiB + 1_GiB); // upper half of NVMM
+    EXPECT_EQ(map.persistSize(), 1_GiB);
+}
+
+TEST(AddrMap, KindBoundaries)
+{
+    AddrMap map(1_GiB, 1_GiB);
+    EXPECT_EQ(map.kind(0), MemKind::Dram);
+    EXPECT_EQ(map.kind(1_GiB - 1), MemKind::Dram);
+    EXPECT_EQ(map.kind(1_GiB), MemKind::Nvmm);
+    EXPECT_EQ(map.kind(2_GiB - 1), MemKind::Nvmm);
+}
+
+TEST(AddrMap, PersistenceBoundaries)
+{
+    AddrMap map(1_GiB, 1_GiB);
+    EXPECT_FALSE(map.isPersistent(0));
+    EXPECT_FALSE(map.isPersistent(map.persistBase() - 1));
+    EXPECT_TRUE(map.isPersistent(map.persistBase()));
+    EXPECT_TRUE(map.isPersistent(map.end() - 1));
+    EXPECT_FALSE(map.isPersistent(map.end())); // invalid => not persistent
+}
+
+TEST(AddrMap, ValidRange)
+{
+    AddrMap map(1_MiB, 1_MiB);
+    EXPECT_TRUE(map.valid(0));
+    EXPECT_TRUE(map.valid(2_MiB - 1));
+    EXPECT_FALSE(map.valid(2_MiB));
+}
+
+TEST(AddrMap, FromConfigUsesSizes)
+{
+    SystemConfig cfg;
+    cfg.dram.size_bytes = 4_MiB;
+    cfg.nvmm.size_bytes = 8_MiB;
+    AddrMap map = AddrMap::fromConfig(cfg);
+    EXPECT_EQ(map.dramSize(), 4_MiB);
+    EXPECT_EQ(map.nvmmSize(), 8_MiB);
+    EXPECT_EQ(map.persistBase(), 4_MiB + 4_MiB);
+}
+
+TEST(AddrMapDeath, KindOutOfRangePanics)
+{
+    AddrMap map(1_MiB, 1_MiB);
+    EXPECT_DEATH(map.kind(4_MiB), "out of range");
+}

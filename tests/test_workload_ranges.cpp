@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Boundary checks for the workload thread-range API: invalid ranges must
+ * fail loudly at install time, not corrupt a run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/system.hh"
+#include "workloads/workload.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+SystemConfig
+cfg2()
+{
+    SystemConfig c;
+    c.num_cores = 2;
+    c.dram.size_bytes = 64_MiB;
+    c.nvmm.size_bytes = 64_MiB;
+    return c;
+}
+
+WorkloadParams
+ranged(unsigned offset, unsigned count)
+{
+    WorkloadParams p;
+    p.ops_per_thread = 10;
+    p.initial_elements = 10;
+    p.thread_offset = offset;
+    p.thread_count = count;
+    return p;
+}
+
+} // namespace
+
+TEST(WorkloadRanges, ExactFullRangeWorks)
+{
+    System sys(cfg2());
+    auto wl = makeWorkload("linkedlist", ranged(0, 2));
+    wl->install(sys);
+    sys.run();
+    EXPECT_GT(sys.stats().lookup("core0", "ops"), 0u);
+    EXPECT_GT(sys.stats().lookup("core1", "ops"), 0u);
+}
+
+TEST(WorkloadRanges, SingleTailCoreWorks)
+{
+    System sys(cfg2());
+    auto wl = makeWorkload("linkedlist", ranged(1, 1));
+    wl->install(sys);
+    sys.run();
+    EXPECT_EQ(sys.stats().lookup("core0", "ops"), 0u);
+    EXPECT_GT(sys.stats().lookup("core1", "ops"), 0u);
+}
+
+TEST(WorkloadRangesDeath, OffsetBeyondCoresPanics)
+{
+    System sys(cfg2());
+    auto wl = makeWorkload("linkedlist", ranged(3, 0));
+    EXPECT_DEATH(wl->install(sys), "range");
+}
+
+TEST(WorkloadRangesDeath, CountOverflowingCoresPanics)
+{
+    System sys(cfg2());
+    auto wl = makeWorkload("linkedlist", ranged(1, 2));
+    EXPECT_DEATH(wl->install(sys), "range");
+}
+
+TEST(WorkloadRangesDeath, DoubleBindingACoreP)
+{
+    System sys(cfg2());
+    auto a = makeWorkload("linkedlist", ranged(0, 1));
+    auto b = makeWorkload("hashmap", ranged(0, 1));
+    a->install(sys);
+    EXPECT_DEATH(b->install(sys), "already has a thread");
+}
