@@ -23,22 +23,24 @@ using namespace bbb;
 namespace
 {
 
+constexpr double kThresholds[] = {0.25, 0.50, 0.75, 0.90, 1.00};
+constexpr const char *kSkipWorkloads[] = {"hashmap", "ctree", "mutateC"};
+constexpr unsigned kLadderSizes[] = {8, 32, 128, 512, 1024};
+
 /** A memory-side backend variant that never skips LLC writebacks is not a
  *  separate class: the skip decision only fires for persistent blocks, so
  *  we emulate "no skip" by comparing against the skipped_writebacks count
  *  the hierarchy reports. */
 void
-thresholdSweep(const WorkloadParams &params)
+thresholdSweep(const bbb::ExperimentResult *results)
 {
     std::printf("\n-- drain threshold sweep (32-entry bbPB, hashmap) --\n");
     std::printf("%10s %14s %14s %14s %14s\n", "threshold", "exec (us)",
                 "nvmm writes", "rejections", "coalesces");
-    for (double thr : {0.25, 0.50, 0.75, 0.90, 1.00}) {
-        SystemConfig cfg = benchConfig(PersistMode::BbbMemSide, 32);
-        cfg.bbpb.drain_threshold = thr;
-        ExperimentResult r = runExperiment(cfg, "hashmap", params);
-        std::printf("%9.0f%% %14.1f %14llu %14llu %14llu\n", thr * 100,
-                    ticksToNs(r.exec_ticks) / 1000.0,
+    for (std::size_t i = 0; i < std::size(kThresholds); ++i) {
+        const ExperimentResult &r = results[i];
+        std::printf("%9.0f%% %14.1f %14llu %14llu %14llu\n",
+                    kThresholds[i] * 100, ticksToNs(r.exec_ticks) / 1000.0,
                     (unsigned long long)r.nvmm_writes,
                     (unsigned long long)r.bbpb_rejections,
                     (unsigned long long)r.bbpb_coalesces);
@@ -46,15 +48,14 @@ thresholdSweep(const WorkloadParams &params)
 }
 
 void
-writebackSkip(const WorkloadParams &params)
+writebackSkip(const bbb::ExperimentResult *results)
 {
     std::printf("\n-- LLC writeback-skip optimisation (Section III-E) --\n");
     std::printf("%-10s %16s %20s %22s\n", "workload", "nvmm writes",
                 "skipped writebacks", "writes without skip");
-    for (const char *name : {"hashmap", "ctree", "mutateC"}) {
-        SystemConfig cfg = benchConfig(PersistMode::BbbMemSide, 32);
-        ExperimentResult r = runExperiment(cfg, name, params);
-        std::printf("%-10s %16llu %20llu %22llu\n", name,
+    for (std::size_t i = 0; i < std::size(kSkipWorkloads); ++i) {
+        const ExperimentResult &r = results[i];
+        std::printf("%-10s %16llu %20llu %22llu\n", kSkipWorkloads[i],
                     (unsigned long long)r.nvmm_writes,
                     (unsigned long long)r.skipped_writebacks,
                     (unsigned long long)(r.nvmm_writes +
@@ -63,20 +64,16 @@ writebackSkip(const WorkloadParams &params)
 }
 
 void
-reuseLadder(const WorkloadParams &params)
+reuseLadder(const bbb::ExperimentResult *results)
 {
     std::printf("\n-- rtree-spatial reuse ladder: bbPB size vs writes "
                 "(normalized to eADR) --\n");
-    ExperimentResult eadr =
-        runExperiment(benchConfig(PersistMode::Eadr), "rtree-spatial",
-                      params);
+    const ExperimentResult &eadr = results[0];
     std::printf("%10s %16s %14s\n", "entries", "writes (x eADR)",
                 "exec (x eADR)");
-    for (unsigned s : {8u, 32u, 128u, 512u, 1024u}) {
-        ExperimentResult r = runExperiment(
-            benchConfig(PersistMode::BbbMemSide, s), "rtree-spatial",
-            params);
-        std::printf("%10u %16.3f %14.3f\n", s,
+    for (std::size_t i = 0; i < std::size(kLadderSizes); ++i) {
+        const ExperimentResult &r = results[1 + i];
+        std::printf("%10u %16.3f %14.3f\n", kLadderSizes[i],
                     double(r.nvmm_writes) / eadr.nvmm_writes,
                     double(r.exec_ticks) / eadr.exec_ticks);
     }
@@ -91,13 +88,35 @@ int
 main(int argc, char **argv)
 {
     bool fast = bbbench::fastMode(argc, argv);
+    unsigned jobs = bbbench::jobsArg(argc, argv);
     WorkloadParams params = bbbench::shapedParams(fast, 2000, 50000);
+    WorkloadParams spatial = bbbench::shapedParams(fast, 1000, 20000);
+
+    // All three ablation sections share one grid submission.
+    std::vector<ExperimentSpec> specs;
+    for (double thr : kThresholds) {
+        SystemConfig cfg = benchConfig(PersistMode::BbbMemSide, 32);
+        cfg.bbpb.drain_threshold = thr;
+        specs.push_back({cfg, "hashmap", params});
+    }
+    for (const char *name : kSkipWorkloads) {
+        specs.push_back(
+            {benchConfig(PersistMode::BbbMemSide, 32), name, params});
+    }
+    specs.push_back(
+        {benchConfig(PersistMode::Eadr), "rtree-spatial", spatial});
+    for (unsigned s : kLadderSizes) {
+        specs.push_back({benchConfig(PersistMode::BbbMemSide, s),
+                         "rtree-spatial", spatial});
+    }
+    std::vector<ExperimentResult> results = bbbench::runGrid(specs, jobs);
 
     bbbench::banner("Ablations: drain policy, writeback skip, reuse ladder");
-    thresholdSweep(params);
-    writebackSkip(params);
-
-    WorkloadParams spatial = bbbench::shapedParams(fast, 1000, 20000);
-    reuseLadder(spatial);
+    const ExperimentResult *cursor = results.data();
+    thresholdSweep(cursor);
+    cursor += std::size(kThresholds);
+    writebackSkip(cursor);
+    cursor += std::size(kSkipWorkloads);
+    reuseLadder(cursor);
     return 0;
 }

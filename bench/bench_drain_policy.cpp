@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     bool fast = bbbench::fastMode(argc, argv);
+    unsigned jobs = bbbench::jobsArg(argc, argv);
     WorkloadParams params = bbbench::shapedParams(fast, 2000, 20000);
 
     const DrainPolicy policies[] = {DrainPolicy::Fcfs, DrainPolicy::Lrw,
@@ -29,26 +30,35 @@ main(int argc, char **argv)
     const char *workloads[] = {"hashmap", "linkedlist", "rtree-spatial",
                                "mutateC"};
 
+    std::vector<ExperimentSpec> specs;
+    for (const char *name : workloads) {
+        for (DrainPolicy policy : policies) {
+            SystemConfig cfg = benchConfig(PersistMode::BbbMemSide, 32);
+            cfg.bbpb.drain_policy = policy;
+            WorkloadParams p = params;
+            if (std::string(name) == "rtree-spatial")
+                p.ops_per_thread /= 2; // the heaviest workload
+            specs.push_back({cfg, name, p});
+        }
+    }
+    std::vector<ExperimentResult> results = bbbench::runGrid(specs, jobs);
+
     bbbench::banner("Ablation: bbPB drain policy (32 entries; NVMM writes "
                     "and exec time normalized to FCFS)");
     std::printf("%-14s | %9s %9s %9s | %9s %9s %9s\n", "workload",
                 "fcfs_w", "lrw_w", "rand_w", "fcfs_t", "lrw_t", "rand_t");
 
-    for (const char *name : workloads) {
+    for (std::size_t w = 0; w < 4; ++w) {
         double writes[3], times[3];
-        for (int i = 0; i < 3; ++i) {
-            SystemConfig cfg = benchConfig(PersistMode::BbbMemSide, 32);
-            cfg.bbpb.drain_policy = policies[i];
-            WorkloadParams p = params;
-            if (std::string(name) == "rtree-spatial")
-                p.ops_per_thread /= 2; // the heaviest workload
-            ExperimentResult r = runExperiment(cfg, name, p);
+        for (std::size_t i = 0; i < 3; ++i) {
+            const ExperimentResult &r = results[w * 3 + i];
             writes[i] = static_cast<double>(r.nvmm_writes);
             times[i] = static_cast<double>(r.exec_ticks);
         }
         std::printf("%-14s | %9.3f %9.3f %9.3f | %9.3f %9.3f %9.3f\n",
-                    name, 1.0, writes[1] / writes[0], writes[2] / writes[0],
-                    1.0, times[1] / times[0], times[2] / times[0]);
+                    workloads[w], 1.0, writes[1] / writes[0],
+                    writes[2] / writes[0], 1.0, times[1] / times[0],
+                    times[2] / times[0]);
     }
     std::printf("\nFCFS is the paper's shipped policy; LRW approximates "
                 "its proposed prediction-based draining.\n");

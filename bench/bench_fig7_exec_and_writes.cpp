@@ -20,7 +20,20 @@ int
 main(int argc, char **argv)
 {
     bool fast = bbbench::fastMode(argc, argv);
+    unsigned jobs = bbbench::jobsArg(argc, argv);
     WorkloadParams params = bbbench::shapedParams(fast, 4000, 100000);
+
+    // The full 3-modes x 7-workloads grid goes through the pool at once.
+    auto workloads = bbbench::paperWorkloads();
+    std::vector<ExperimentSpec> specs;
+    for (const auto &name : workloads) {
+        specs.push_back({benchConfig(PersistMode::Eadr), name, params});
+        specs.push_back(
+            {benchConfig(PersistMode::BbbMemSide, 32), name, params});
+        specs.push_back(
+            {benchConfig(PersistMode::BbbMemSide, 1024), name, params});
+    }
+    std::vector<ExperimentResult> results = bbbench::runGrid(specs, jobs);
 
     bbbench::banner("Figure 7: execution time and NVMM writes, "
                     "BBB-32 / BBB-1024 / eADR (normalized to eADR)");
@@ -30,13 +43,11 @@ main(int argc, char **argv)
                 "BBB-32", "BBB-1024", "eADR", "BBB-32", "BBB-1024", "eADR");
 
     std::vector<double> time32, time1024, writes32, writes1024;
-    for (const auto &name : bbbench::paperWorkloads()) {
-        ExperimentResult eadr = runExperiment(
-            benchConfig(PersistMode::Eadr), name, params);
-        ExperimentResult bbb32 = runExperiment(
-            benchConfig(PersistMode::BbbMemSide, 32), name, params);
-        ExperimentResult bbb1024 = runExperiment(
-            benchConfig(PersistMode::BbbMemSide, 1024), name, params);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
+        const ExperimentResult &eadr = results[w * 3];
+        const ExperimentResult &bbb32 = results[w * 3 + 1];
+        const ExperimentResult &bbb1024 = results[w * 3 + 2];
 
         double t32 = double(bbb32.exec_ticks) / eadr.exec_ticks;
         double t1024 = double(bbb1024.exec_ticks) / eadr.exec_ticks;

@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     bool fast = bbbench::fastMode(argc, argv);
+    unsigned jobs = bbbench::jobsArg(argc, argv);
     // Smaller structures than Fig. 7: this sweep is about bbPB pressure,
     // and 11 sizes x 7 workloads must simulate in minutes.
     WorkloadParams params = bbbench::shapedParams(fast, 2000, 20000);
@@ -33,22 +34,29 @@ main(int argc, char **argv)
                                          64, 128, 256, 512, 1024};
     auto workloads = bbbench::paperWorkloads();
 
+    // One grid of every (size, workload) point; the size-1 row doubles as
+    // the normalization reference.
+    std::vector<ExperimentSpec> specs;
+    for (unsigned s : sizes) {
+        for (const auto &name : workloads) {
+            specs.push_back(
+                {benchConfig(PersistMode::BbbMemSide, s), name, params});
+        }
+    }
+    std::vector<ExperimentResult> results = bbbench::runGrid(specs, jobs);
+
     // result[size] = {rejections, exec, drains} geomean inputs
     std::map<unsigned, std::vector<double>> rej, exec, drains;
 
     std::map<std::string, ExperimentResult> base; // 1-entry reference
-    for (const auto &name : workloads) {
-        base[name] = runExperiment(
-            benchConfig(PersistMode::BbbMemSide, 1), name, params);
-    }
+    for (std::size_t w = 0; w < workloads.size(); ++w)
+        base[workloads[w]] = results[w];
 
-    for (unsigned s : sizes) {
-        for (const auto &name : workloads) {
-            ExperimentResult r =
-                s == 1 ? base[name]
-                       : runExperiment(
-                             benchConfig(PersistMode::BbbMemSide, s), name,
-                             params);
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+        unsigned s = sizes[si];
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const std::string &name = workloads[w];
+            const ExperimentResult &r = results[si * workloads.size() + w];
             const ExperimentResult &b = base[name];
             // +1 smoothing keeps ratios defined when counts reach zero.
             rej[s].push_back(double(r.bbpb_rejections + 1) /

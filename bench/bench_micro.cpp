@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "api/system.hh"
 #include "cache/cache_array.hh"
 #include "cache/hierarchy.hh"
@@ -125,4 +128,27 @@ BENCHMARK(BM_EndToEndSimulatedStores)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the bench_smoke ctest driver
+// passes the harness-wide `--fast --jobs N` flags to every bench binary,
+// and google-benchmark rejects flags it does not know.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fast") == 0)
+            continue;
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            ++i;
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int kept = static_cast<int>(args.size());
+    args.push_back(nullptr);
+    benchmark::Initialize(&kept, args.data());
+    if (benchmark::ReportUnrecognizedArguments(kept, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

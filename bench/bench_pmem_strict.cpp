@@ -23,7 +23,23 @@ int
 main(int argc, char **argv)
 {
     bool fast = bbbench::fastMode(argc, argv);
+    unsigned jobs = bbbench::jobsArg(argc, argv);
     WorkloadParams params = bbbench::shapedParams(fast, 4000, 100000);
+
+    auto workloads = bbbench::paperWorkloads();
+    SystemConfig strict_cfg = benchConfig(PersistMode::AdrPmem);
+    strict_cfg.pmem_auto_strict = true;
+    std::vector<ExperimentSpec> specs;
+    for (const auto &name : workloads) {
+        specs.push_back({benchConfig(PersistMode::Eadr), name, params});
+        specs.push_back({benchConfig(PersistMode::AdrUnsafe), name,
+                         params});
+        specs.push_back(
+            {benchConfig(PersistMode::BbbMemSide, 32), name, params});
+        specs.push_back({benchConfig(PersistMode::AdrPmem), name, params});
+        specs.push_back({strict_cfg, name, params});
+    }
+    std::vector<ExperimentResult> results = bbbench::runGrid(specs, jobs);
 
     bbbench::banner("Table I ablation: strict-persistency penalty, "
                     "PMEM flush+fence vs BBB (time normalized to eADR)");
@@ -31,19 +47,13 @@ main(int argc, char **argv)
                 "BBB-32", "pmem-epoch", "pmem-strict");
 
     std::vector<double> bbb, epoch, strict;
-    for (const auto &name : bbbench::paperWorkloads()) {
-        ExperimentResult eadr =
-            runExperiment(benchConfig(PersistMode::Eadr), name, params);
-        ExperimentResult unsafe =
-            runExperiment(benchConfig(PersistMode::AdrUnsafe), name,
-                          params);
-        ExperimentResult b32 = runExperiment(
-            benchConfig(PersistMode::BbbMemSide, 32), name, params);
-        ExperimentResult pe = runExperiment(
-            benchConfig(PersistMode::AdrPmem), name, params);
-        SystemConfig strict_cfg = benchConfig(PersistMode::AdrPmem);
-        strict_cfg.pmem_auto_strict = true;
-        ExperimentResult ps = runExperiment(strict_cfg, name, params);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
+        const ExperimentResult &eadr = results[w * 5];
+        const ExperimentResult &unsafe = results[w * 5 + 1];
+        const ExperimentResult &b32 = results[w * 5 + 2];
+        const ExperimentResult &pe = results[w * 5 + 3];
+        const ExperimentResult &ps = results[w * 5 + 4];
 
         double base = double(eadr.exec_ticks);
         double tu = unsafe.exec_ticks / base;

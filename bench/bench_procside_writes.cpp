@@ -26,7 +26,19 @@ int
 main(int argc, char **argv)
 {
     bool fast = bbbench::fastMode(argc, argv);
+    unsigned jobs = bbbench::jobsArg(argc, argv);
     WorkloadParams params = bbbench::shapedParams(fast, 4000, 100000);
+
+    auto workloads = bbbench::paperWorkloads();
+    std::vector<ExperimentSpec> specs;
+    for (const auto &name : workloads) {
+        specs.push_back({benchConfig(PersistMode::Eadr), name, params});
+        specs.push_back(
+            {benchConfig(PersistMode::BbbMemSide, 32), name, params});
+        specs.push_back(
+            {benchConfig(PersistMode::BbbProcSide, 32), name, params});
+    }
+    std::vector<ExperimentResult> results = bbbench::runGrid(specs, jobs);
 
     bbbench::banner("Section V-C: processor-side vs memory-side bbPB "
                     "(normalized to eADR writes)");
@@ -35,13 +47,11 @@ main(int argc, char **argv)
                 "rejections");
 
     std::vector<double> mem_media, proc_media, mem_drain, proc_drain;
-    for (const auto &name : bbbench::paperWorkloads()) {
-        ExperimentResult eadr =
-            runExperiment(benchConfig(PersistMode::Eadr), name, params);
-        ExperimentResult mem = runExperiment(
-            benchConfig(PersistMode::BbbMemSide, 32), name, params);
-        ExperimentResult proc = runExperiment(
-            benchConfig(PersistMode::BbbProcSide, 32), name, params);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
+        const ExperimentResult &eadr = results[w * 3];
+        const ExperimentResult &mem = results[w * 3 + 1];
+        const ExperimentResult &proc = results[w * 3 + 2];
 
         double base = double(eadr.nvmm_writes);
         auto drained = [](const ExperimentResult &r) {

@@ -11,8 +11,10 @@
 #ifndef BBB_BENCH_BENCH_UTIL_HH
 #define BBB_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -39,6 +41,47 @@ fastMode(int argc, char **argv)
             return true;
     }
     return false;
+}
+
+/**
+ * Worker-pool width for the experiment grid: `--jobs N` on the command
+ * line, else the BBB_JOBS environment variable, else 0 (= hardware
+ * concurrency, resolved by runExperiments).
+ */
+inline unsigned
+jobsArg(int argc, char **argv)
+{
+    const char *value = nullptr;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            value = argv[i + 1]; // last occurrence wins, like most CLIs
+    }
+    if (!value)
+        value = std::getenv("BBB_JOBS");
+    return value ? static_cast<unsigned>(std::strtoul(value, nullptr, 10))
+                 : 0;
+}
+
+/**
+ * Submit a full bench grid to the experiment pool and report wall-clock,
+ * so CI logs show what the pool buys. Results are in submission order
+ * and bit-identical to a serial run (see runExperiments).
+ */
+inline std::vector<bbb::ExperimentResult>
+runGrid(const std::vector<bbb::ExperimentSpec> &specs, unsigned jobs)
+{
+    auto start = std::chrono::steady_clock::now();
+    std::vector<bbb::ExperimentResult> results =
+        bbb::runExperiments(specs, jobs);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    unsigned effective = bbb::resolveJobs(jobs);
+    if (effective > specs.size() && !specs.empty())
+        effective = static_cast<unsigned>(specs.size());
+    std::printf("[grid] %zu points on %u jobs: %.2f s wall\n",
+                specs.size(), effective, secs);
+    return results;
 }
 
 /** Bench workload shape, honoring --fast. */

@@ -8,11 +8,14 @@
  * and the crash-drain cost — the axes of the paper's Tables I and VII.
  *
  * Usage: persistency_modes [workload] [ops_per_thread]
+ * The BBB_JOBS environment variable sets the worker-pool width (default:
+ * hardware concurrency).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "api/experiment.hh"
 #include "api/system.hh"
@@ -57,13 +60,25 @@ main(int argc, char **argv)
     std::printf("%-30s %14s %12s %11s %11s %11s\n", "scheme", "exec(us)",
                 "nvmm_writes", "rejections", "coalesces", "stalls(us)");
 
-    double eadr_time = 0;
+    // The whole mode tour is one independent grid; BBB_JOBS picks the
+    // pool width (0 = hardware concurrency).
+    unsigned jobs = 0;
+    if (const char *env = std::getenv("BBB_JOBS"))
+        jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    std::vector<ExperimentSpec> specs;
     for (const ModePoint &pt : points) {
         SystemConfig cfg = benchConfig(pt.mode, pt.bbpb_entries
                                                     ? pt.bbpb_entries
                                                     : 32);
         cfg.pmem_auto_strict = pt.auto_strict;
-        ExperimentResult r = runExperiment(cfg, workload, params);
+        specs.push_back({cfg, workload, params});
+    }
+    std::vector<ExperimentResult> results = runExperiments(specs, jobs);
+
+    double eadr_time = 0;
+    for (std::size_t i = 0; i < std::size(points); ++i) {
+        const ModePoint &pt = points[i];
+        const ExperimentResult &r = results[i];
         double us = ticksToNs(r.exec_ticks) / 1000.0;
         if (pt.mode == PersistMode::Eadr)
             eadr_time = us;

@@ -7,12 +7,18 @@
  * statistics dump — the command-line face of the library.
  *
  * Usage:
- *   run_experiment [--workload NAME] [--mode MODE] [--entries N]
- *                  [--ops N] [--initial N] [--threshold F]
- *                  [--policy fcfs|lrw|random] [--stats] [--trace FILE]
+ *   run_experiment [--workload NAME[,NAME...]|all] [--mode MODE]
+ *                  [--entries N] [--ops N] [--initial N] [--threshold F]
+ *                  [--policy fcfs|lrw|random] [--jobs N] [--stats]
+ *                  [--trace FILE]
  *
  * Modes: adr-unsafe, adr-pmem, pmem-strict, eadr, bbb-mem-side,
  *        bbb-proc-side.
+ *
+ * With a single workload the full report (stats, crash drain, recovery,
+ * trace) is printed. With a comma-separated list or `all`, the grid is
+ * submitted to the parallel experiment pool (`--jobs N`, or BBB_JOBS,
+ * default hardware concurrency) and one CSV row is printed per point.
  */
 
 #include <cstdio>
@@ -20,6 +26,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "api/experiment.hh"
 #include "api/system.hh"
@@ -34,10 +41,11 @@ namespace
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--workload NAME] [--mode MODE] [--entries N]\n"
-                 "          [--ops N] [--initial N] [--threshold F]\n"
-                 "          [--policy fcfs|lrw|random] [--stats] "
-                 "[--trace FILE]\n\nworkloads:",
+                 "usage: %s [--workload NAME[,NAME...]|all] [--mode MODE]\n"
+                 "          [--entries N] [--ops N] [--initial N]\n"
+                 "          [--threshold F] [--policy fcfs|lrw|random]\n"
+                 "          [--jobs N] [--stats] [--trace FILE]\n\n"
+                 "workloads:",
                  argv0);
     for (const auto &name : workloadNames())
         std::fprintf(stderr, " %s", name.c_str());
@@ -78,6 +86,25 @@ parsePolicy(const std::string &s)
     fatal("unknown drain policy '%s'", s.c_str());
 }
 
+/** Split "a,b,c" (or "all") into workload names. */
+std::vector<std::string>
+parseWorkloads(const std::string &arg)
+{
+    if (arg == "all")
+        return workloadNames();
+    std::vector<std::string> names;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        std::size_t comma = arg.find(',', start);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        if (comma > start)
+            names.push_back(arg.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return names;
+}
+
 } // namespace
 
 int
@@ -87,6 +114,9 @@ main(int argc, char **argv)
     std::string trace_path;
     bool auto_strict = false;
     bool dump_stats = false;
+    unsigned jobs = 0;
+    if (const char *env = std::getenv("BBB_JOBS"))
+        jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
     SystemConfig cfg = benchConfig(PersistMode::BbbMemSide, 32);
     WorkloadParams params = benchParams();
     params.ops_per_thread = 2000;
@@ -101,6 +131,9 @@ main(int argc, char **argv)
         };
         if (arg == "--workload") {
             workload = next();
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--mode") {
             cfg.mode = parseMode(next(), auto_strict);
             cfg.pmem_auto_strict = auto_strict;
@@ -124,6 +157,22 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
+
+    // Multi-workload sweeps go through the parallel pool as one grid and
+    // print CSV; the rich single-run report needs direct System access.
+    std::vector<std::string> sweep = parseWorkloads(workload);
+    if (sweep.size() > 1) {
+        std::vector<ExperimentSpec> specs;
+        for (const std::string &name : sweep)
+            specs.push_back({cfg, name, params});
+        std::vector<ExperimentResult> results =
+            runExperiments(specs, jobs);
+        std::printf("%s\n", ExperimentResult::csvHeader().c_str());
+        for (const ExperimentResult &r : results)
+            std::printf("%s\n", r.toCsv().c_str());
+        return 0;
+    }
+    workload = sweep.empty() ? workload : sweep.front();
 
     System sys(cfg);
     TraceRecorder recorder(sys);

@@ -1,6 +1,10 @@
 #include "api/experiment.hh"
 
+#include <atomic>
+#include <exception>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "api/system.hh"
 
@@ -95,6 +99,67 @@ runExperiment(const SystemConfig &cfg, const std::string &workload,
             stats.lookup("core" + std::to_string(c), "stall_ticks");
     }
     return r;
+}
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    if (jobs)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::vector<ExperimentResult>
+runExperiments(const std::vector<ExperimentSpec> &specs, unsigned jobs)
+{
+    std::vector<ExperimentResult> results(specs.size());
+    jobs = resolveJobs(jobs);
+    if (jobs > specs.size())
+        jobs = static_cast<unsigned>(specs.size());
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            results[i] = runExperiment(specs[i].cfg, specs[i].workload,
+                                       specs[i].params);
+        }
+        return results;
+    }
+
+    // Work-stealing by atomic ticket: each worker claims the next
+    // unstarted point. Every point owns its System/event queue/RNG, so
+    // which worker runs it cannot change the result, and writing into
+    // the pre-sized slot keeps results in submission order.
+    std::atomic<std::size_t> next{0};
+    std::mutex failure_mutex;
+    std::exception_ptr failure;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs.size())
+                return;
+            try {
+                results[i] = runExperiment(specs[i].cfg, specs[i].workload,
+                                           specs[i].params);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(failure_mutex);
+                if (!failure)
+                    failure = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (failure)
+        std::rethrow_exception(failure);
+    return results;
 }
 
 } // namespace bbb

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/config.hh"
 #include "workloads/workload.hh"
@@ -72,6 +73,29 @@ struct ExperimentResult
 ExperimentResult runExperiment(const SystemConfig &cfg,
                                const std::string &workload,
                                const WorkloadParams &params);
+
+/** One point of an experiment grid: a machine, a workload, its shape. */
+struct ExperimentSpec
+{
+    SystemConfig cfg;
+    std::string workload;
+    WorkloadParams params;
+};
+
+/** Resolve a jobs request: 0 means hardware concurrency (min 1). */
+unsigned resolveJobs(unsigned jobs);
+
+/**
+ * Run a grid of independent experiment points on a worker thread pool.
+ *
+ * Results come back in submission order, and every point is simulated by
+ * its own System with its own event queue and RNG stream, so the result
+ * vector is bit-identical to running the specs serially — regardless of
+ * @p jobs or scheduling. @p jobs == 0 uses hardware concurrency;
+ * @p jobs == 1 degenerates to a plain serial loop on the calling thread.
+ */
+std::vector<ExperimentResult>
+runExperiments(const std::vector<ExperimentSpec> &specs, unsigned jobs = 0);
 
 /** The paper's default machine (Table III). */
 SystemConfig paperConfig(PersistMode mode, unsigned bbpb_entries = 32);

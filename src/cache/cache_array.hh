@@ -11,7 +11,6 @@
 #define BBB_CACHE_CACHE_ARRAY_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "cache/replacement.hh"
@@ -150,9 +149,11 @@ class CacheArray
         line = Line{};
     }
 
-    /** Apply @p fn to every valid line. */
+    /** Apply @p fn to every valid line. Templated (not std::function) so
+     *  per-line callbacks inline into the scan loop. */
+    template <typename Fn>
     void
-    forEachValid(const std::function<void(Line &)> &fn)
+    forEachValid(Fn &&fn)
     {
         for (Line &l : _lines) {
             if (l.valid)
@@ -160,8 +161,9 @@ class CacheArray
         }
     }
 
+    template <typename Fn>
     void
-    forEachValid(const std::function<void(const Line &)> &fn) const
+    forEachValid(Fn &&fn) const
     {
         for (const Line &l : _lines) {
             if (l.valid)

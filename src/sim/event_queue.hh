@@ -5,17 +5,22 @@
  * Events are callbacks scheduled at an absolute tick with a priority.
  * Events at the same (tick, priority) fire in scheduling (FIFO) order so a
  * run is fully reproducible for a given configuration and seed.
+ *
+ * The queue is an explicit binary heap over move-only SmallFn entries:
+ * scheduling never heap-allocates for the capture sizes the simulator
+ * uses, and cancellation is lazy with in-entry flags that are compacted
+ * away once they outnumber half the live entries.
  */
 
 #ifndef BBB_SIM_EVENT_QUEUE_HH
 #define BBB_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace bbb
@@ -43,7 +48,7 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallFn;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -63,8 +68,9 @@ class EventQueue
         BBB_ASSERT(when >= _now, "scheduling into the past (%llu < %llu)",
                    (unsigned long long)when, (unsigned long long)_now);
         EventId id = _nextId++;
-        _heap.push(Entry{when, static_cast<int>(prio), id, std::move(cb)});
-        ++_pending;
+        _heap.push_back(
+            Entry{when, static_cast<int>(prio), id, std::move(cb), false});
+        siftUp(_heap.size() - 1);
         return id;
     }
 
@@ -76,21 +82,38 @@ class EventQueue
         return schedule(_now + delta, std::move(cb), prio);
     }
 
-    /** Cancel a previously scheduled event. Safe if already fired. */
+    /**
+     * Cancel a previously scheduled event. Safe if already fired.
+     *
+     * Cancellation is lazy: the entry stays heap-ordered (its callback is
+     * released immediately) and is skipped when popped. Once cancelled
+     * entries outnumber half the heap they are compacted away, so a
+     * deschedule-heavy caller cannot grow the heap without bound. The
+     * linear id scan is fine: the simulator core never deschedules on the
+     * hot path.
+     */
     void
     deschedule(EventId id)
     {
-        if (_cancelled.size() <= id)
-            _cancelled.resize(id + 1, false);
-        if (!_cancelled[id])
-            _cancelled[id] = true;
+        for (Entry &e : _heap) {
+            if (e.id != id)
+                continue;
+            if (!e.cancelled) {
+                e.cancelled = true;
+                e.cb.reset();
+                ++_cancelled;
+                if (_cancelled * 2 > _heap.size())
+                    purgeCancelled();
+            }
+            return;
+        }
     }
 
-    /** Number of events still scheduled (including cancelled ones). */
-    std::size_t pending() const { return _pending; }
+    /** Number of events still scheduled, excluding descheduled ones. */
+    std::size_t pending() const { return _heap.size() - _cancelled; }
 
     /** True if no runnable events remain. */
-    bool empty() const { return _heap.empty(); }
+    bool empty() const { return pending() == 0; }
 
     /**
      * Run events until the queue is empty or @p maxTick is passed.
@@ -100,14 +123,13 @@ class EventQueue
     run(Tick maxTick = kMaxTick)
     {
         while (!_heap.empty()) {
-            const Entry &top = _heap.top();
-            if (top.when > maxTick)
+            if (_heap.front().when > maxTick)
                 break;
-            Entry e = top;
-            _heap.pop();
-            --_pending;
-            if (isCancelled(e.id))
+            Entry e = popTop();
+            if (e.cancelled) {
+                --_cancelled;
                 continue;
+            }
             BBB_ASSERT(e.when >= _now, "event queue went backwards");
             _now = e.when;
             ++_executed;
@@ -121,11 +143,12 @@ class EventQueue
     step()
     {
         while (!_heap.empty()) {
-            Entry e = _heap.top();
-            _heap.pop();
-            --_pending;
-            if (isCancelled(e.id))
+            Entry e = popTop();
+            if (e.cancelled) {
+                --_cancelled;
                 continue;
+            }
+            BBB_ASSERT(e.when >= _now, "event queue went backwards");
             _now = e.when;
             ++_executed;
             e.cb();
@@ -144,32 +167,86 @@ class EventQueue
         int prio;
         EventId id;
         Callback cb;
+        bool cancelled;
     };
 
-    struct Later
+    /** True if @p a fires before @p b (min-heap order). */
+    static bool
+    before(const Entry &a, const Entry &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.id > b.id;
-        }
-    };
-
-    bool
-    isCancelled(EventId id) const
-    {
-        return id < _cancelled.size() && _cancelled[id];
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.prio != b.prio)
+            return a.prio < b.prio;
+        return a.id < b.id;
     }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
-    std::vector<bool> _cancelled;
+    void
+    siftUp(std::size_t i)
+    {
+        Entry e = std::move(_heap[i]);
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (!before(e, _heap[parent]))
+                break;
+            _heap[i] = std::move(_heap[parent]);
+            i = parent;
+        }
+        _heap[i] = std::move(e);
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const std::size_t n = _heap.size();
+        Entry e = std::move(_heap[i]);
+        for (;;) {
+            std::size_t kid = 2 * i + 1;
+            if (kid >= n)
+                break;
+            if (kid + 1 < n && before(_heap[kid + 1], _heap[kid]))
+                ++kid;
+            if (!before(_heap[kid], e))
+                break;
+            _heap[i] = std::move(_heap[kid]);
+            i = kid;
+        }
+        _heap[i] = std::move(e);
+    }
+
+    Entry
+    popTop()
+    {
+        Entry top = std::move(_heap.front());
+        if (_heap.size() > 1) {
+            _heap.front() = std::move(_heap.back());
+            _heap.pop_back();
+            siftDown(0);
+        } else {
+            _heap.pop_back();
+        }
+        return top;
+    }
+
+    /** Drop every cancelled entry and restore the heap invariant. Ids are
+     *  kept, so FIFO same-(tick, priority) ordering is unaffected. */
+    void
+    purgeCancelled()
+    {
+        _heap.erase(std::remove_if(_heap.begin(), _heap.end(),
+                                   [](const Entry &e) {
+                                       return e.cancelled;
+                                   }),
+                    _heap.end());
+        _cancelled = 0;
+        for (std::size_t i = _heap.size() / 2; i-- > 0;)
+            siftDown(i);
+    }
+
+    std::vector<Entry> _heap;
     Tick _now = 0;
     EventId _nextId = 0;
-    std::size_t _pending = 0;
+    std::size_t _cancelled = 0;
     std::uint64_t _executed = 0;
 };
 

@@ -1,38 +1,58 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 
 namespace bbb
 {
 
 namespace
 {
-LogLevel gLevel = LogLevel::Warn;
+
+std::atomic<LogLevel> gLevel{LogLevel::Warn};
+
+/**
+ * Serializes whole log lines across threads: the parallel experiment
+ * runner executes simulations on a worker pool, and interleaved
+ * fprintf fragments would make warn()/inform() output unreadable.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return gLevel;
+    return gLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel lvl)
 {
-    gLevel = lvl;
+    gLevel.store(lvl, std::memory_order_relaxed);
 }
 
 void
 logVPrint(const char *prefix, const char *fmt, std::va_list ap)
 {
-    std::fprintf(stderr, "%s: ", prefix);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    // Format into a buffer first so the lock is held only for one write
+    // and a line is never split between two threads' output.
+    char body[2048];
+    std::vsnprintf(body, sizeof(body), fmt, ap);
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "%s: %s\n", prefix, body);
 }
 
 void
 assertFailLocation(const char *cond, const char *file, int line)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d\n", cond,
                  file, line);
 }
@@ -60,7 +80,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (gLevel < LogLevel::Warn)
+    if (logLevel() < LogLevel::Warn)
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -71,7 +91,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (gLevel < LogLevel::Info)
+    if (logLevel() < LogLevel::Info)
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -82,7 +102,7 @@ inform(const char *fmt, ...)
 void
 debugLog(const char *fmt, ...)
 {
-    if (gLevel < LogLevel::Debug)
+    if (logLevel() < LogLevel::Debug)
         return;
     std::va_list ap;
     va_start(ap, fmt);

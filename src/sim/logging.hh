@@ -30,10 +30,14 @@ enum class LogLevel
     Debug = 3,
 };
 
-/** Global log verbosity; defaults to Warn so tests stay quiet. */
+/**
+ * Global log verbosity; defaults to Warn so tests stay quiet. The level
+ * is an atomic and every helper emits whole lines under one writer lock,
+ * so concurrent simulations (runExperiments) can log safely.
+ */
 LogLevel logLevel();
 
-/** Set the global log verbosity. */
+/** Set the global log verbosity (thread-safe). */
 void setLogLevel(LogLevel lvl);
 
 /** Internal: formatted print with a level prefix. */

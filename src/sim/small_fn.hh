@@ -1,0 +1,132 @@
+/**
+ * @file
+ * SmallFn: a move-only `void()` callable with small-buffer storage.
+ *
+ * The event queue schedules millions of short-lived callbacks per run;
+ * std::function heap-allocates once the capture list outgrows its tiny
+ * internal buffer, and that allocation/deallocation pair dominates the
+ * scheduling cost. SmallFn stores any callable up to kInlineBytes in
+ * place (enough for every capture list in the simulator) and only falls
+ * back to the heap beyond that.
+ */
+
+#ifndef BBB_SIM_SMALL_FN_HH
+#define BBB_SIM_SMALL_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bbb
+{
+
+/** Move-only nullary callable with small-buffer optimisation. */
+class SmallFn
+{
+  public:
+    /** Inline capacity; sized for "this plus a handful of values". */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    SmallFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    SmallFn(F &&f) // NOLINT: implicit, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(_buf)) Fn(std::forward<F>(f));
+            _ops = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(_buf) = new Fn(std::forward<F>(f));
+            _ops = &heapOps<Fn>;
+        }
+    }
+
+    SmallFn(SmallFn &&other) noexcept { moveFrom(other); }
+
+    SmallFn &
+    operator=(SmallFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { reset(); }
+
+    /** Drop the stored callable (releases captured state). */
+    void
+    reset()
+    {
+        if (_ops) {
+            _ops->destroy(_buf);
+            _ops = nullptr;
+        }
+    }
+
+    explicit operator bool() const { return _ops != nullptr; }
+
+    void
+    operator()()
+    {
+        BBB_ASSERT(_ops != nullptr, "invoking an empty SmallFn");
+        _ops->invoke(_buf);
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct into @p dst from @p src, destroying @p src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *dst, void *src) {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *p) { (**static_cast<Fn **>(p))(); },
+        [](void *dst, void *src) {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *p) { delete *static_cast<Fn **>(p); },
+    };
+
+    void
+    moveFrom(SmallFn &other) noexcept
+    {
+        if (other._ops) {
+            other._ops->relocate(_buf, other._buf);
+            _ops = other._ops;
+            other._ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char _buf[kInlineBytes];
+    const Ops *_ops = nullptr;
+};
+
+} // namespace bbb
+
+#endif // BBB_SIM_SMALL_FN_HH

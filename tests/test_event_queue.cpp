@@ -76,6 +76,63 @@ TEST(EventQueue, DescheduleCancelsEvent)
     EXPECT_FALSE(fired);
 }
 
+TEST(EventQueue, PendingExcludesDescheduledEvents)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(10, []() {});
+    eq.schedule(20, []() {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.deschedule(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.deschedule(a); // double-deschedule must not decrement again
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, EmptyIgnoresCancelledResidue)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(10, []() {});
+    EXPECT_FALSE(eq.empty());
+    eq.deschedule(a);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, MassDescheduleDoesNotDisturbSurvivors)
+{
+    // Cancel enough events to trigger the internal compaction, then check
+    // the survivors still run in FIFO order within a (tick, priority).
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<EventId> doomed;
+    for (int i = 0; i < 64; ++i) {
+        if (i % 2 == 0) {
+            doomed.push_back(
+                eq.schedule(7, []() { FAIL() << "cancelled event fired"; }));
+        } else {
+            eq.schedule(7, [&order, i]() { order.push_back(i); });
+        }
+    }
+    for (EventId id : doomed)
+        eq.deschedule(id);
+    EXPECT_EQ(eq.pending(), 32u);
+    eq.run();
+    ASSERT_EQ(order.size(), 32u);
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_LT(order[i - 1], order[i]);
+}
+
+TEST(EventQueue, DescheduleUnknownIdIsNoop)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.deschedule(12345); // never scheduled
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.executed(), 1u);
+}
+
 TEST(EventQueue, DescheduleAfterFireIsSafe)
 {
     EventQueue eq;
@@ -154,4 +211,18 @@ TEST(EventQueueDeath, SchedulingInPastPanics)
     eq.schedule(100, []() {});
     eq.run();
     EXPECT_DEATH(eq.schedule(50, []() {}), "scheduling into the past");
+}
+
+TEST(EventQueue, LargeCaptureCallbacksWork)
+{
+    // Captures past SmallFn's inline buffer take the heap fallback; the
+    // callback must still fire with its state intact.
+    EventQueue eq;
+    std::uint64_t a = 1, b = 2, c = 3, d = 4, e = 5, f = 6, g = 7, h = 8;
+    std::uint64_t sum = 0;
+    eq.schedule(1, [a, b, c, d, e, f, g, h, &sum]() {
+        sum = a + b + c + d + e + f + g + h;
+    });
+    eq.run();
+    EXPECT_EQ(sum, 36u);
 }
