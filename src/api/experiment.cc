@@ -110,26 +110,24 @@ resolveJobs(unsigned jobs)
     return hw ? hw : 1;
 }
 
-std::vector<ExperimentResult>
-runExperiments(const std::vector<ExperimentSpec> &specs, unsigned jobs)
+void
+runIndexedJobs(std::size_t count,
+               const std::function<void(std::size_t)> &fn, unsigned jobs)
 {
-    std::vector<ExperimentResult> results(specs.size());
     jobs = resolveJobs(jobs);
-    if (jobs > specs.size())
-        jobs = static_cast<unsigned>(specs.size());
+    if (jobs > count)
+        jobs = static_cast<unsigned>(count);
 
     if (jobs <= 1) {
-        for (std::size_t i = 0; i < specs.size(); ++i) {
-            results[i] = runExperiment(specs[i].cfg, specs[i].workload,
-                                       specs[i].params);
-        }
-        return results;
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
     }
 
     // Work-stealing by atomic ticket: each worker claims the next
-    // unstarted point. Every point owns its System/event queue/RNG, so
-    // which worker runs it cannot change the result, and writing into
-    // the pre-sized slot keeps results in submission order.
+    // unstarted index. The contract (header) requires job i to be
+    // independent of which worker runs it, so the claim order cannot
+    // change any result.
     std::atomic<std::size_t> next{0};
     std::mutex failure_mutex;
     std::exception_ptr failure;
@@ -137,11 +135,10 @@ runExperiments(const std::vector<ExperimentSpec> &specs, unsigned jobs)
     auto worker = [&]() {
         for (;;) {
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= specs.size())
+            if (i >= count)
                 return;
             try {
-                results[i] = runExperiment(specs[i].cfg, specs[i].workload,
-                                           specs[i].params);
+                fn(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(failure_mutex);
                 if (!failure)
@@ -159,6 +156,22 @@ runExperiments(const std::vector<ExperimentSpec> &specs, unsigned jobs)
         t.join();
     if (failure)
         std::rethrow_exception(failure);
+}
+
+std::vector<ExperimentResult>
+runExperiments(const std::vector<ExperimentSpec> &specs, unsigned jobs)
+{
+    // Every point owns its System/event queue/RNG and writes only into
+    // its pre-sized slot, so results come back in submission order and
+    // bit-identical at any jobs width.
+    std::vector<ExperimentResult> results(specs.size());
+    runIndexedJobs(
+        specs.size(),
+        [&](std::size_t i) {
+            results[i] = runExperiment(specs[i].cfg, specs[i].workload,
+                                       specs[i].params);
+        },
+        jobs);
     return results;
 }
 

@@ -11,6 +11,7 @@
 #define BBB_API_EXPERIMENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,20 @@ struct ExperimentSpec
 
 /** Resolve a jobs request: 0 means hardware concurrency (min 1). */
 unsigned resolveJobs(unsigned jobs);
+
+/**
+ * Run @p count independent jobs — fn(0) .. fn(count-1) — on an
+ * atomic-ticket worker pool (the engine underneath runExperiments and
+ * runCrashCampaign). Each index is claimed by exactly one worker; @p fn
+ * must make job i independent of which worker runs it (own System, own
+ * RNG, writes only to slot i), which is what makes the results
+ * bit-identical at any @p jobs width. @p jobs == 1 degenerates to a
+ * plain serial loop on the calling thread; the first exception thrown by
+ * any job is rethrown after the pool drains.
+ */
+void runIndexedJobs(std::size_t count,
+                    const std::function<void(std::size_t)> &fn,
+                    unsigned jobs = 0);
 
 /**
  * Run a grid of independent experiment points on a worker thread pool.

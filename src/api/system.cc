@@ -54,6 +54,23 @@ System::System(const SystemConfig &cfg)
 System::~System() = default;
 
 void
+System::setFaultPlan(const FaultPlan &plan)
+{
+    BBB_ASSERT(!_crashed, "fault plan armed after the crash");
+    if (!plan.enabled()) {
+        // Detach entirely: the fault-free machine must not even consult
+        // the injector, so disabled plans reproduce it bit for bit.
+        _faults.reset();
+        _nvmm->setFaultInjector(nullptr);
+        _crash->setFaultInjector(nullptr);
+        return;
+    }
+    _faults = std::make_unique<FaultInjector>(plan);
+    _nvmm->setFaultInjector(_faults.get());
+    _crash->setFaultInjector(_faults.get());
+}
+
+void
 System::onThread(CoreId c, Core::ThreadBody body)
 {
     _cores.at(c)->bindThread(std::move(body));
@@ -69,11 +86,29 @@ System::allThreadsFinished() const
     return true;
 }
 
+void
+System::scheduleInvariantCheck()
+{
+    _eq.schedule(
+        _eq.now() + _cfg.cycles(_cfg.invariant_check_cycles),
+        [this]() {
+            _hier->checkInvariants();
+            // Stop resampling once the machine quiesces (or crashed), so
+            // run(kMaxTick) still terminates.
+            if (!_crashed && !allThreadsFinished())
+                scheduleInvariantCheck();
+        },
+        EventPriority::Stats);
+}
+
 Tick
 System::run(Tick max_tick)
 {
     for (auto &core : _cores)
         core->start();
+
+    if (_cfg.check_invariants)
+        scheduleInvariantCheck();
 
     // Run until every thread finishes, then let trailing buffer drains
     // settle so write counts are complete.
@@ -95,6 +130,8 @@ System::runAndCrashAt(Tick crash_tick)
 {
     for (auto &core : _cores)
         core->start();
+    if (_cfg.check_invariants)
+        scheduleInvariantCheck();
     _eq.run(crash_tick);
     return crashNow();
 }
@@ -104,6 +141,10 @@ System::crashNow()
 {
     BBB_ASSERT(!_crashed, "system already crashed");
     _crashed = true;
+    // The persistence-domain invariants must hold at the instant power
+    // fails -- this is the state the drain is about to persist.
+    if (_cfg.check_invariants)
+        _hier->checkInvariants();
     return _crash->crash(_eq.now());
 }
 

@@ -31,6 +31,8 @@
 #include "core/crash_engine.hh"
 #include "core/persist_backend.hh"
 #include "cpu/core.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
 #include "mem/addr_map.hh"
 #include "mem/backing_store.hh"
 #include "mem/mem_ctrl.hh"
@@ -71,6 +73,19 @@ class System
     MemSideBbpb *memSideBbpb() { return _mem_bbpb; }
     /** Processor-side bbPB, or nullptr. */
     ProcSideBbpb *procSideBbpb() { return _proc_bbpb; }
+
+    // --- fault injection -----------------------------------------------
+    /**
+     * Arm a fault plan: imperfect crash battery, failing media writes,
+     * and/or a mid-drain re-crash. Must be called before run(); a plan
+     * with nothing enabled detaches injection entirely, reproducing the
+     * fault-free machine bit for bit.
+     */
+    void setFaultPlan(const FaultPlan &plan);
+
+    /** The armed injector, or nullptr when no faults are armed. */
+    FaultInjector *faultInjector() { return _faults.get(); }
+    const FaultInjector *faultInjector() const { return _faults.get(); }
 
     // --- workload binding ----------------------------------------------
     /** Bind a software thread to core @p c (one thread per core). */
@@ -137,6 +152,9 @@ class System
   private:
     bool allThreadsFinished() const;
 
+    /** Sampled invariant checking (SystemConfig::check_invariants). */
+    void scheduleInvariantCheck();
+
     SystemConfig _cfg;
     AddrMap _map;
     EventQueue _eq;
@@ -152,6 +170,7 @@ class System
     std::vector<std::unique_ptr<Core>> _cores;
     std::unique_ptr<PersistentHeap> _heap;
     std::unique_ptr<CrashEngine> _crash;
+    std::unique_ptr<FaultInjector> _faults;
     Tick _exec_time = 0;
     bool _crashed = false;
 };

@@ -529,6 +529,27 @@ CacheHierarchy::checkInvariants() const
         BBB_ASSERT(holders <= 1, "block %#llx in %u bbPBs",
                    (unsigned long long)line.block, holders);
     });
+
+    // The same invariants walked from the bbPB side, which also catches
+    // entries whose block silently left the caches (invisible above).
+    // Dirty inclusion (Section III-B/III-D): every held block must still
+    // be LLC-resident and flagged persistent — LLC evictions force a
+    // drain, so an orphaned entry means that forced drain was missed and
+    // a later refetch could read stale media.
+    _backend->forEachHeld([&](CoreId holder, Addr block) {
+        const LlcLine *llc_line = _llc.find(block);
+        BBB_ASSERT(llc_line,
+                   "bbPB block %#llx (core %u) not LLC-resident",
+                   (unsigned long long)block, holder);
+        BBB_ASSERT(llc_line->persistent,
+                   "bbPB block %#llx not flagged persistent in LLC",
+                   (unsigned long long)block);
+        for (CoreId o = 0; o < _cfg.num_cores; ++o) {
+            BBB_ASSERT(o == holder || !_backend->holds(o, block),
+                       "block %#llx held by cores %u and %u",
+                       (unsigned long long)block, holder, o);
+        }
+    });
 }
 
 } // namespace bbb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 namespace bbb
 {
@@ -117,7 +118,10 @@ MemSideBbpb::onForcedDrain(Addr block, const BlockData &data)
             continue;
         // Drain synchronously: the eviction cannot complete until the
         // value is safely in the WPQ. `data` is the freshest copy from
-        // the cache, which matches the coalesced entry.
+        // the cache, which matches the coalesced entry. A full WPQ must
+        // not drop the block (it is leaving the persistence domain), so
+        // escalate to a bypass write; the eviction path charges the
+        // stall.
         if (!_nvmm.enqueueWrite(block, data))
             _nvmm.forceWrite(block, data);
         _stats.residency_ns.sample(static_cast<std::uint64_t>(
@@ -140,6 +144,17 @@ bool
 MemSideBbpb::holds(CoreId c, Addr block) const
 {
     return _bufs.at(c).entries.count(blockAlign(block)) != 0;
+}
+
+void
+MemSideBbpb::forEachHeld(
+    const std::function<void(CoreId, Addr)> &fn) const
+{
+    for (CoreId c = 0; c < static_cast<CoreId>(_bufs.size()); ++c) {
+        // Walk the FCFS map: deterministic oldest-first order.
+        for (const auto &kv : _bufs[c].fifo)
+            fn(c, kv.second);
+    }
 }
 
 std::size_t
@@ -325,6 +340,9 @@ ProcSideBbpb::drainPrefixFor(CoreId c, Addr block)
 
     for (std::size_t i = 0; i <= last; ++i) {
         const Record &r = buf.records.front();
+        // Ordering forbids deferring (younger records would overtake),
+        // so a full WPQ escalates to a bypass write rather than dropping
+        // or reordering the record.
         if (!_nvmm.enqueueWrite(r.block, r.data))
             _nvmm.forceWrite(r.block, r.data);
         ++_stats.forced_drains;
@@ -364,6 +382,21 @@ ProcSideBbpb::holds(CoreId c, Addr block) const
     const CoreBuffer &buf = _bufs.at(c);
     return std::any_of(buf.records.begin(), buf.records.end(),
                        [&](const Record &r) { return r.block == block; });
+}
+
+void
+ProcSideBbpb::forEachHeld(
+    const std::function<void(CoreId, Addr)> &fn) const
+{
+    for (CoreId c = 0; c < static_cast<CoreId>(_bufs.size()); ++c) {
+        // Records keep program order; report each block once (a block
+        // may span several store records).
+        std::unordered_set<Addr> seen;
+        for (const Record &r : _bufs[c].records) {
+            if (seen.insert(r.block).second)
+                fn(c, r.block);
+        }
+    }
 }
 
 std::size_t

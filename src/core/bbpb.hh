@@ -75,6 +75,8 @@ class MemSideBbpb : public PersistencyBackend
     void onForcedDrain(Addr block, const BlockData &data) override;
     bool skipLlcWriteback(Addr block) const override;
     bool holds(CoreId c, Addr block) const override;
+    void forEachHeld(
+        const std::function<void(CoreId, Addr)> &fn) const override;
     std::size_t occupancy() const override;
     std::vector<PersistRecord> crashDrain() override;
 
@@ -141,6 +143,8 @@ class ProcSideBbpb : public PersistencyBackend
     void onForcedDrain(Addr block, const BlockData &data) override;
     bool skipLlcWriteback(Addr block) const override;
     bool holds(CoreId c, Addr block) const override;
+    void forEachHeld(
+        const std::function<void(CoreId, Addr)> &fn) const override;
     std::size_t occupancy() const override;
     std::vector<PersistRecord> crashDrain() override;
 

@@ -1,5 +1,7 @@
 #include "core/crash_engine.hh"
 
+#include "fault/fault_injector.hh"
+
 namespace bbb
 {
 
@@ -28,11 +30,84 @@ CrashEngine::crash(Tick now)
         core->halt();
 
     DrainCostModel cost(simulatedPlatform());
+    const EnergyConstants &con = cost.constants();
+    const double l1_rate_j =
+        con.sram_access_j_per_byte + con.l1_to_nvmm_j_per_byte;
+    const double llc_rate_j =
+        con.sram_access_j_per_byte + con.l2_to_nvmm_j_per_byte;
+
+    // Unlimited stand-in so the fault-free path shares the drain loop.
+    BatteryBudget unlimited;
+    BatteryBudget &battery = _faults ? _faults->battery() : unlimited;
+    const bool media_faults =
+        _faults && _faults->plan().injectsMediaFaults();
+    const std::uint64_t recrash_after =
+        _faults ? _faults->plan().recrash_after_blocks : 0;
+
     std::uint64_t l1_rate_bytes = 0;  // bbPB / L1 / SB draining path
     std::uint64_t llc_rate_bytes = 0; // LLC draining path
+    std::uint64_t drained_items = 0;
+    bool exhausted = false;
+    bool sacrificed_seen = false;
+    bool recrash_pending = recrash_after > 0;
 
-    // 1. WPQ: always in the persistence domain (ADR). Oldest data first.
-    rep.wpq_blocks = _nvmm.drainAllToMedia();
+    // One persistence-domain item passed the battery gate and drained:
+    // bookkeeping shared by every drain source.
+    auto noteDrained = [&]() {
+        if (sacrificed_seen)
+            rep.drain_prefix_ok = false;
+        ++drained_items;
+        if (recrash_pending && drained_items >= recrash_after) {
+            // Power fails again mid-drain. Draining is idempotent, so
+            // re-entering crash() with the residual budget is exactly
+            // "continue under the scaled-down reserve".
+            battery.scaleResidual(_faults->plan().recrash_budget_factor);
+            ++rep.recrashes;
+            recrash_pending = false;
+        }
+    };
+
+    // Gate one item of @p bytes at @p rate_j J/B through the battery.
+    auto batteryAllows = [&](std::uint64_t bytes, double rate_j) {
+        if (exhausted)
+            return false; // prefix by construction: never drain again
+        if (battery.charge(static_cast<double>(bytes) * rate_j))
+            return true;
+        exhausted = true;
+        rep.battery_exhausted = true;
+        return false;
+    };
+
+    // Media-commit one full drained block, possibly tearing it.
+    auto writeDrainedBlock = [&](Addr block, const BlockData &data) {
+        if (media_faults) {
+            MediaWriteOutcome out =
+                _faults->performMediaWrite(_store, block, data);
+            rep.media_retries += out.retries;
+            if (out.torn)
+                ++rep.torn_media_blocks;
+        } else {
+            _store.writeBlock(block, data.bytes.data());
+        }
+    };
+
+    // 1. WPQ: always in the persistence domain (ADR), and the oldest
+    // data, so it drains first. The WPQ sits at the controller, past the
+    // core-side SRAM: its bytes charge the battery at the L2/L3 rate
+    // (see DrainCostModel::bbbCrashBudgetJ). Per the report's historical
+    // contract they do not count into drained_bytes/drain_energy_j.
+    for (auto &kv : _nvmm.takeWpqForCrash()) {
+        if (batteryAllows(kBlockSize, llc_rate_j)) {
+            writeDrainedBlock(kv.first, kv.second);
+            _nvmm.creditCrashCommit();
+            ++rep.wpq_blocks;
+            noteDrained();
+        } else {
+            sacrificed_seen = true;
+            ++rep.sacrificed_blocks;
+            _faults->noteSacrificed(kv.first, kv.second);
+        }
+    }
 
     // 2. Mode-specific drains, oldest-to-newest so fresher copies win.
     switch (_cfg.mode) {
@@ -43,22 +118,45 @@ CrashEngine::crash(Tick now)
       case PersistMode::Eadr: {
         std::uint64_t from_l1 = 0;
         auto dirty = _hier.collectDirtyNvmm(&from_l1);
-        for (const auto &rec : dirty)
-            _store.writeBlock(rec.block, rec.data.bytes.data());
-        rep.cache_blocks_l1 = from_l1;
-        rep.cache_blocks_llc = dirty.size() - from_l1;
-        l1_rate_bytes += from_l1 * kBlockSize;
-        llc_rate_bytes += (dirty.size() - from_l1) * kBlockSize;
+        std::uint64_t idx = 0;
+        for (const auto &rec : dirty) {
+            bool is_l1 = idx++ < from_l1;
+            double rate = is_l1 ? l1_rate_j : llc_rate_j;
+            if (batteryAllows(kBlockSize, rate)) {
+                writeDrainedBlock(rec.block, rec.data);
+                noteDrained();
+                if (is_l1) {
+                    ++rep.cache_blocks_l1;
+                    l1_rate_bytes += kBlockSize;
+                } else {
+                    ++rep.cache_blocks_llc;
+                    llc_rate_bytes += kBlockSize;
+                }
+            } else {
+                sacrificed_seen = true;
+                ++rep.sacrificed_blocks;
+                _faults->noteSacrificed(rec.block, rec.data);
+            }
+        }
         break;
       }
 
       case PersistMode::BbbMemSide:
       case PersistMode::BbbProcSide: {
+        // crashDrain() returns FCFS allocation order == persist order.
         auto records = _backend.crashDrain();
-        for (const auto &rec : records)
-            _store.writeBlock(rec.block, rec.data.bytes.data());
-        rep.bbpb_blocks = records.size();
-        l1_rate_bytes += records.size() * kBlockSize;
+        for (const auto &rec : records) {
+            if (batteryAllows(kBlockSize, l1_rate_j)) {
+                writeDrainedBlock(rec.block, rec.data);
+                ++rep.bbpb_blocks;
+                l1_rate_bytes += kBlockSize;
+                noteDrained();
+            } else {
+                sacrificed_seen = true;
+                ++rep.sacrificed_blocks;
+                _faults->noteSacrificed(rec.block, rec.data);
+            }
+        }
         break;
       }
     }
@@ -73,9 +171,17 @@ CrashEngine::crash(Tick now)
         for (auto &core : _cores) {
             auto entries = core->storeBuffer().drainForCrash();
             for (const auto &e : entries) {
-                _store.write(e.addr, &e.data, e.size);
-                ++rep.sb_entries;
-                l1_rate_bytes += e.size;
+                if (batteryAllows(e.size, l1_rate_j)) {
+                    _store.write(e.addr, &e.data, e.size);
+                    ++rep.sb_entries;
+                    l1_rate_bytes += e.size;
+                    noteDrained();
+                } else {
+                    sacrificed_seen = true;
+                    ++rep.sacrificed_blocks;
+                    _faults->noteSacrificedBytes(_store, e.addr, &e.data,
+                                                 e.size);
+                }
             }
         }
     }
@@ -85,6 +191,7 @@ CrashEngine::crash(Tick now)
     rep.drain_time_s =
         static_cast<double>(rep.drained_bytes) /
         (cost.constants().channel_write_bw * _cfg.nvmm.channels);
+    rep.battery_spent_j = battery.spentJ();
     return rep;
 }
 

@@ -16,6 +16,26 @@
  * recovery code sees) and reports the energy/time cost of the drain using
  * the Table VI model, which is how the paper's Tables VII/VIII compare
  * eADR and BBB.
+ *
+ * With a FaultInjector attached the drain stops being infallible:
+ *
+ *   - every drained byte charges the injector's BatteryBudget at the
+ *     Table VI rate of its source (WPQ at the L2/L3 rate, bbPB/L1/SB at
+ *     the L1 rate); once the budget runs out every remaining -- younger
+ *     -- item is sacrificed, so the survivors always form an oldest-first
+ *     prefix of the persist order (checked and reported as
+ *     drain_prefix_ok);
+ *   - each drained block's media write may fail per the plan, retrying
+ *     and finally tearing the block;
+ *   - after recrash_after_blocks drained items, power "fails again":
+ *     the residual budget is scaled by recrash_budget_factor and the
+ *     remaining drain continues under the shrunken reserve (draining is
+ *     idempotent, so re-entering the drain with the residual budget is
+ *     exactly the continuation).
+ *
+ * Sacrificed and torn blocks land in the injector's fault ledger with
+ * the content a fault-free drain would have persisted, which is what the
+ * campaign's recovery oracle replays (see fault/campaign.hh).
  */
 
 #ifndef BBB_CORE_CRASH_ENGINE_HH
@@ -53,6 +73,27 @@ struct CrashReport
     double drain_energy_j = 0.0;
     /** Time to push the drained bytes through NVMM bandwidth (s). */
     double drain_time_s = 0.0;
+
+    /** --- Fault injection (all zero on a fault-free crash) ----------- */
+
+    /** Persistence-domain items lost to an exhausted battery. */
+    std::uint64_t sacrificed_blocks = 0;
+    /** Drained blocks torn by terminal media write failures. */
+    std::uint64_t torn_media_blocks = 0;
+    /** Media write retries during the drain. */
+    std::uint64_t media_retries = 0;
+    /** Mid-drain re-crashes taken. */
+    std::uint64_t recrashes = 0;
+    /** The battery ran out before the domain finished draining. */
+    bool battery_exhausted = false;
+    /**
+     * Oldest-first prefix oracle: true iff no item drained after the
+     * first sacrificed item. Must hold by construction; a false here is
+     * a crash-engine bug, not an injected fault.
+     */
+    bool drain_prefix_ok = true;
+    /** Energy drawn from the battery (J), including the WPQ bytes. */
+    double battery_spent_j = 0.0;
 };
 
 /** Executes the flush-on-fail policy for the configured mode. */
@@ -74,6 +115,9 @@ class CrashEngine
      */
     CrashReport crash(Tick now);
 
+    /** Inject faults into the drain (nullptr = infallible drain). */
+    void setFaultInjector(FaultInjector *faults) { _faults = faults; }
+
   private:
     /** Platform view of the simulated machine, for the cost model. */
     PlatformSpec simulatedPlatform() const;
@@ -84,6 +128,7 @@ class CrashEngine
     BackingStore &_store;
     PersistencyBackend &_backend;
     std::vector<std::unique_ptr<Core>> &_cores;
+    FaultInjector *_faults = nullptr;
 };
 
 } // namespace bbb

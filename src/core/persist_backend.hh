@@ -13,6 +13,7 @@
 #define BBB_CORE_PERSIST_BACKEND_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mem/mem_ctrl.hh"
@@ -80,6 +81,15 @@ class PersistencyBackend
     /** True if core @p c's bbPB currently holds @p block. */
     virtual bool holds(CoreId c, Addr block) const = 0;
 
+    /**
+     * Invoke @p fn(holder, block) once per block currently held in a
+     * persist buffer, in a deterministic order. Lets the invariant
+     * checker walk the persistence domain from the bbPB side — a held
+     * block missing from the LLC would be invisible to an LLC-side walk.
+     */
+    virtual void
+    forEachHeld(const std::function<void(CoreId, Addr)> &fn) const = 0;
+
     /** Total blocks currently in the backend's persistence buffers. */
     virtual std::size_t occupancy() const = 0;
 
@@ -105,6 +115,10 @@ class NullPersistencyBackend : public PersistencyBackend
     void onForcedDrain(Addr, const BlockData &) override {}
     bool skipLlcWriteback(Addr) const override { return false; }
     bool holds(CoreId, Addr) const override { return false; }
+    void
+    forEachHeld(const std::function<void(CoreId, Addr)> &) const override
+    {
+    }
     std::size_t occupancy() const override { return 0; }
     std::vector<PersistRecord> crashDrain() override { return {}; }
 };

@@ -68,6 +68,19 @@ DrainCostModel::bbbDrainEnergyJ(unsigned bbpb_entries) const
 }
 
 double
+DrainCostModel::bbbCrashBudgetJ(unsigned bbpb_entries,
+                                unsigned wpq_entries) const
+{
+    // The WPQ sits at the memory controller; moving its blocks to media
+    // costs the L2/L3->NVMM rate (the closest Table VI figure for data
+    // already past the core-side SRAM).
+    return drainEnergyJ(bbbBytes(bbpb_entries),
+                        static_cast<std::uint64_t>(wpq_entries) *
+                            kBlockSize,
+                        0);
+}
+
+double
 DrainCostModel::eadrDrainTimeS(double dirty_fraction) const
 {
     double bytes = dirty_fraction *

@@ -59,6 +59,61 @@ struct EnergyConstants
     static double densityJPerCm3(BatteryTech t);
 };
 
+/**
+ * A finite crash-drain energy reserve, for fault-injection runs where the
+ * battery is *not* sized to the Section IV-C worst case. Draining charges
+ * it per byte at the Table VI rates; once exhausted, remaining blocks are
+ * sacrificed. A negative capacity means "correctly sized" (never runs
+ * out), reproducing the infallible drain the paper assumes.
+ */
+class BatteryBudget
+{
+  public:
+    explicit BatteryBudget(double capacity_j = -1.0)
+        : _capacity_j(capacity_j)
+    {
+    }
+
+    bool limited() const { return _capacity_j >= 0.0; }
+    double spentJ() const { return _spent_j; }
+
+    double
+    remainingJ() const
+    {
+        return limited() ? _capacity_j - _spent_j : 0.0;
+    }
+
+    /**
+     * Consume @p energy_j if the reserve covers it.
+     * @return false (and consume nothing) when the budget is exhausted —
+     *         the caller must sacrifice the block it was about to drain.
+     */
+    bool
+    charge(double energy_j)
+    {
+        if (!limited()) {
+            _spent_j += energy_j;
+            return true;
+        }
+        if (_spent_j + energy_j > _capacity_j)
+            return false;
+        _spent_j += energy_j;
+        return true;
+    }
+
+    /** Re-crash during drain: scale what is left of the reserve. */
+    void
+    scaleResidual(double factor)
+    {
+        if (limited())
+            _capacity_j = _spent_j + remainingJ() * factor;
+    }
+
+  private:
+    double _capacity_j;
+    double _spent_j = 0.0;
+};
+
 /** Flush-on-fail cost estimates for eADR and BBB on a platform. */
 class DrainCostModel
 {
@@ -83,6 +138,14 @@ class DrainCostModel
 
     /** Worst-case BBB drain energy (J): all bbPB entries full. */
     double bbbDrainEnergyJ(unsigned bbpb_entries) const;
+
+    /**
+     * Worst-case BBB *crash budget* (J): full bbPBs plus a full WPQ —
+     * the whole persistence domain Section III-C sizes the battery for.
+     * Fault campaigns undersize batteries relative to this figure.
+     */
+    double bbbCrashBudgetJ(unsigned bbpb_entries,
+                           unsigned wpq_entries) const;
 
     /** Average eADR drain time (s) over all channels' bandwidth. */
     double eadrDrainTimeS(double dirty_fraction = 0.449) const;

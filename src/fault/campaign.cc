@@ -1,0 +1,178 @@
+#include "fault/campaign.hh"
+
+#include <sstream>
+
+#include "api/experiment.hh"
+#include "api/system.hh"
+#include "energy/energy_model.hh"
+#include "fault/fault_injector.hh"
+#include "sim/rng.hh"
+
+namespace bbb
+{
+
+const char *
+campaignOutcomeName(CampaignOutcome o)
+{
+    switch (o) {
+      case CampaignOutcome::Clean:
+        return "clean";
+      case CampaignOutcome::DegradedPrefix:
+        return "degraded-prefix";
+      case CampaignOutcome::OracleViolation:
+        return "oracle-violation";
+    }
+    return "unknown";
+}
+
+std::string
+CrashSampleResult::reproLine() const
+{
+    std::ostringstream os;
+    os << "--workload " << workload << " --seed " << seed
+       << " --crash-tick " << crash_tick << " --fault-plan "
+       << plan.toString();
+    return os.str();
+}
+
+const CrashSampleResult *
+CampaignSummary::firstViolation() const
+{
+    for (const CrashSampleResult &r : results) {
+        if (r.outcome == CampaignOutcome::OracleViolation)
+            return &r;
+    }
+    return nullptr;
+}
+
+FaultPlan
+undersizedBatteryPlan(const SystemConfig &cfg, double fraction,
+                      std::uint64_t fault_seed)
+{
+    PlatformSpec p;
+    p.name = "campaign";
+    p.cores = cfg.num_cores;
+    p.l1_total_bytes = cfg.num_cores * cfg.l1d.size_bytes;
+    p.l2_total_bytes = cfg.llc.size_bytes;
+    p.l3_total_bytes = 0;
+    p.mem_channels = cfg.nvmm.channels;
+    p.core_area_mm2 = 2.61;
+    DrainCostModel cost(p);
+
+    FaultPlan plan;
+    plan.fault_seed = fault_seed;
+    plan.battery_j = fraction * cost.bbbCrashBudgetJ(cfg.bbpb.entries,
+                                                     cfg.nvmm.wpq_entries);
+    return plan;
+}
+
+std::vector<CrashSample>
+planCampaign(const CampaignSpec &spec)
+{
+    std::vector<NamedFaultPlan> plans =
+        spec.plans.empty() ? faultPlanPresets() : spec.plans;
+    BBB_ASSERT(spec.min_crash_tick <= spec.max_crash_tick,
+               "empty crash-tick window");
+
+    // One sampling stream, consumed in a fixed nesting order, makes the
+    // sample list a pure function of the spec.
+    Rng rng(spec.campaign_seed ^ 0xca3b417ull);
+    std::vector<CrashSample> samples;
+    samples.reserve(spec.workloads.size() * plans.size() *
+                    spec.crash_points);
+    for (const std::string &wl : spec.workloads) {
+        for (const NamedFaultPlan &np : plans) {
+            for (unsigned i = 0; i < spec.crash_points; ++i) {
+                CrashSample s;
+                s.cfg = spec.base;
+                s.workload = wl;
+                s.params = spec.params;
+                s.plan = np.plan;
+                s.plan_name = np.name;
+                s.crash_tick =
+                    rng.range(spec.min_crash_tick, spec.max_crash_tick);
+                std::uint64_t seed = rng.next();
+                s.cfg.seed = seed;
+                s.params.seed = seed;
+                s.plan.fault_seed = rng.next();
+                samples.push_back(std::move(s));
+            }
+        }
+    }
+    return samples;
+}
+
+CrashSampleResult
+runCrashSample(const CrashSample &sample)
+{
+    System sys(sample.cfg);
+    sys.setFaultPlan(sample.plan);
+    auto wl = makeWorkload(sample.workload, sample.params);
+    wl->install(sys);
+
+    CrashSampleResult r;
+    r.workload = sample.workload;
+    r.plan_name = sample.plan_name;
+    r.seed = sample.params.seed;
+    r.crash_tick = sample.crash_tick;
+    r.plan = sample.plan;
+
+    r.report = sys.runAndCrashAt(sample.crash_tick);
+    r.raw = wl->checkRecovery(sys.pmemImage());
+    r.image_fingerprint = sys.image().fingerprint();
+
+    const FaultInjector *inj = sys.faultInjector();
+    if (inj && !inj->damagedBlocks().empty()) {
+        r.damaged_blocks = inj->damagedBlocks().size();
+        // The oracle: restore exactly what the faults destroyed and
+        // re-judge. Consistent now => the damage is fully explained.
+        BackingStore healed = sys.image().clone();
+        inj->repairImage(healed);
+        r.repaired = wl->checkRecovery(PmemImage(healed, sys.addrMap()));
+    } else {
+        r.repaired = r.raw;
+    }
+
+    if (!r.report.drain_prefix_ok || !r.repaired.consistent())
+        r.outcome = CampaignOutcome::OracleViolation;
+    else if (r.damaged_blocks == 0)
+        r.outcome = r.raw.consistent() ? CampaignOutcome::Clean
+                                       : CampaignOutcome::OracleViolation;
+    else
+        r.outcome = CampaignOutcome::DegradedPrefix;
+    return r;
+}
+
+CampaignSummary
+runCrashCampaign(const CampaignSpec &spec, unsigned jobs)
+{
+    std::vector<CrashSample> samples = planCampaign(spec);
+
+    CampaignSummary summary;
+    summary.results.resize(samples.size());
+    // Same pool as runExperiments: each sample owns its System and
+    // writes only its own slot, so any jobs width gives the same bits.
+    runIndexedJobs(
+        samples.size(),
+        [&](std::size_t i) {
+            summary.results[i] = runCrashSample(samples[i]);
+        },
+        jobs);
+
+    for (const CrashSampleResult &r : summary.results) {
+        switch (r.outcome) {
+          case CampaignOutcome::Clean:
+            ++summary.clean;
+            break;
+          case CampaignOutcome::DegradedPrefix:
+            ++summary.degraded;
+            break;
+          case CampaignOutcome::OracleViolation:
+            ++summary.violations;
+            break;
+        }
+    }
+    return summary;
+}
+
+} // namespace bbb

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Crash-fault campaigns: seeded sweeps of crash points x fault plans x
+ * workloads, with a recovery oracle that classifies every outcome.
+ *
+ * One sample runs a workload to a seeded crash tick under a FaultPlan,
+ * then judges the post-crash image twice:
+ *
+ *   1. raw      — the workload's own recovery checker on the image as
+ *                 the faulty drain left it;
+ *   2. repaired — the same checker after writing back the fault ledger
+ *                 (the content an un-faulted drain would have persisted
+ *                 for every block the faults damaged).
+ *
+ * The repair pass is the oracle: if restoring exactly the faulted blocks
+ * yields a consistent structure, the damage is fully explained by the
+ * injected faults and the run degraded gracefully. If the image is
+ * inconsistent *even after* the repair — or the crash engine drained
+ * anything after its first sacrifice (the oldest-first prefix property)
+ * — no fault explains it: the run found a genuine persistency bug and is
+ * classified an oracle violation, with a one-line repro.
+ *
+ * The oracle presumes the fault-free machine recovers consistently
+ * (true for the BBB/eADR/ADR-PMEM modes; AdrUnsafe is inconsistent by
+ * design and is not meaningfully classifiable).
+ *
+ * Campaigns run on the same worker pool as runExperiments: every sample
+ * owns its System, so summaries are bit-identical at any jobs width.
+ */
+
+#ifndef BBB_FAULT_CAMPAIGN_HH
+#define BBB_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/crash_engine.hh"
+#include "fault/fault_plan.hh"
+#include "persist/recovery.hh"
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+namespace bbb
+{
+
+/** Degradation taxonomy for one crash-fault sample. */
+enum class CampaignOutcome
+{
+    /** Nothing was damaged and raw recovery is consistent. */
+    Clean,
+    /**
+     * Faults destroyed data, but the survivors are exactly an
+     * un-faulted image minus the ledgered blocks (repair restores
+     * consistency) and the drain kept the oldest-first prefix.
+     */
+    DegradedPrefix,
+    /**
+     * Inconsistent after repairing every faulted block, the prefix
+     * property broke, or a fault-free image failed recovery: a genuine
+     * bug, not injected damage.
+     */
+    OracleViolation,
+};
+
+/** Printable outcome name. */
+const char *campaignOutcomeName(CampaignOutcome o);
+
+/** One fully-specified campaign sample (a runnable crash point). */
+struct CrashSample
+{
+    SystemConfig cfg;
+    std::string workload;
+    WorkloadParams params;
+    Tick crash_tick = 0;
+    FaultPlan plan;
+    /** Name of the plan family this sample came from (display only). */
+    std::string plan_name;
+};
+
+/** Everything one sample produced. */
+struct CrashSampleResult
+{
+    std::string workload;
+    std::string plan_name;
+    std::uint64_t seed = 0;
+    Tick crash_tick = 0;
+    FaultPlan plan;
+
+    CampaignOutcome outcome = CampaignOutcome::Clean;
+    CrashReport report;
+    RecoveryResult raw;
+    RecoveryResult repaired;
+    /** Blocks in the fault ledger (torn + sacrificed). */
+    std::uint64_t damaged_blocks = 0;
+    /** Post-crash image fingerprint (determinism comparisons). */
+    std::uint64_t image_fingerprint = 0;
+
+    /**
+     * Minimized single-line repro: feed these flags back through
+     * FaultPlan::parse / replayCrashSample to re-run this exact sample.
+     */
+    std::string reproLine() const;
+};
+
+/** A campaign: the sweep space plus the sampling seed. */
+struct CampaignSpec
+{
+    /** Machine template; each sample overrides its seeds. */
+    SystemConfig base;
+    /** Workloads to sweep (>= 3 for a full campaign). */
+    std::vector<std::string> workloads;
+    WorkloadParams params;
+    /** Fault-plan family; empty means faultPlanPresets(). */
+    std::vector<NamedFaultPlan> plans;
+    /** Seeded crash points drawn per (workload, plan) pair. */
+    unsigned crash_points = 4;
+    /** Crash tick sampling window. */
+    Tick min_crash_tick = nsToTicks(2000);
+    Tick max_crash_tick = nsToTicks(400000);
+    /** Seed of the campaign's sampling stream (crash ticks, seeds). */
+    std::uint64_t campaign_seed = 1;
+};
+
+/** Campaign results plus the outcome tally. */
+struct CampaignSummary
+{
+    std::vector<CrashSampleResult> results;
+    std::uint64_t clean = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t violations = 0;
+
+    /** First oracle violation, or nullptr if the campaign is bug-free. */
+    const CrashSampleResult *firstViolation() const;
+
+    /** Every sample landed in exactly one taxonomy bucket. */
+    bool
+    allClassified() const
+    {
+        return clean + degraded + violations == results.size();
+    }
+};
+
+/**
+ * A battery deliberately too small for the machine: @p fraction of the
+ * Section III-C worst-case crash budget (full bbPBs + full WPQ). Use
+ * with fraction < 1 to force sacrifices and demonstrate the
+ * oldest-first prefix property.
+ */
+FaultPlan undersizedBatteryPlan(const SystemConfig &cfg, double fraction,
+                                std::uint64_t fault_seed = 1);
+
+/**
+ * Expand a spec into its deterministic sample list: for every workload x
+ * plan, crash_points crash ticks and per-sample seeds drawn from one
+ * stream seeded by campaign_seed. Pure function of the spec.
+ */
+std::vector<CrashSample> planCampaign(const CampaignSpec &spec);
+
+/** Run one sample: build, run, crash, judge. The repro replay path. */
+CrashSampleResult runCrashSample(const CrashSample &sample);
+
+/**
+ * Run the whole campaign on the runExperiments worker pool and tally
+ * the taxonomy. Bit-identical at any @p jobs width.
+ */
+CampaignSummary runCrashCampaign(const CampaignSpec &spec,
+                                 unsigned jobs = 0);
+
+} // namespace bbb
+
+#endif // BBB_FAULT_CAMPAIGN_HH

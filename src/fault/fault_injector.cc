@@ -1,0 +1,55 @@
+#include "fault/fault_injector.hh"
+
+#include <cstring>
+
+namespace bbb
+{
+
+MediaWriteOutcome
+FaultInjector::performMediaWrite(BackingStore &store, Addr block,
+                                 const BlockData &data)
+{
+    MediaWriteOutcome out;
+    Tick backoff = _plan.media_backoff;
+    while (sampleMediaAttemptFails()) {
+        if (out.retries >= _plan.media_retries) {
+            out.torn = true;
+            commitTorn(store, block, data);
+            return out;
+        }
+        ++out.retries;
+        noteRetry();
+        out.backoff += backoff;
+        backoff *= 2;
+    }
+    store.writeBlock(block, data.bytes.data());
+    noteCleanWrite(block);
+    return out;
+}
+
+void
+FaultInjector::noteSacrificedBytes(const BackingStore &store, Addr addr,
+                                   const void *src, unsigned size)
+{
+    // Store-buffer entries are sub-block writes: the intended content is
+    // whatever the block holds (in the ledger if already damaged, else in
+    // the image) with these bytes applied on top.
+    Addr block = blockAlign(addr);
+    auto it = _damaged.find(block);
+    if (it == _damaged.end()) {
+        BlockData current;
+        store.readBlock(block, current.bytes.data());
+        it = _damaged.emplace(block, current).first;
+        ++_sacrificed_blocks;
+    }
+    std::memcpy(it->second.bytes.data() + blockOffset(addr), src, size);
+}
+
+void
+FaultInjector::repairImage(BackingStore &store) const
+{
+    for (const auto &kv : _damaged)
+        store.writeBlock(kv.first, kv.second.bytes.data());
+}
+
+} // namespace bbb

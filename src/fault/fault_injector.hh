@@ -1,0 +1,172 @@
+/**
+ * @file
+ * FaultInjector: the runtime side of a FaultPlan.
+ *
+ * One injector is owned by a System and threaded through the two places
+ * the plan's faults act:
+ *
+ *  - the NVMM controller's media writes (runtime and crash time): every
+ *    write attempt may fail; bounded retries back off exponentially and
+ *    are latency-charged; a terminal failure tears the 64 B block,
+ *    leaving only its first half in the image;
+ *  - the crash engine's flush-on-fail drain: every drained byte charges
+ *    the battery budget; when it runs out the remaining (younger) blocks
+ *    are sacrificed, and an optional mid-drain re-crash shrinks the
+ *    residual budget.
+ *
+ * The injector also keeps the *fault ledger* recovery oracles need: the
+ * intended content of every block the faults damaged (sacrificed at
+ * crash time, or torn by media failures). Applying the ledger to a
+ * post-crash image must yield a consistent structure — if it does not,
+ * the damage is NOT explained by the injected faults and the run is a
+ * genuine persistency bug (see campaign.hh).
+ *
+ * All randomness comes from one deterministic stream seeded by
+ * FaultPlan::fault_seed, drawn only on the single simulation thread, so
+ * every fault schedule is exactly reproducible from the plan token.
+ */
+
+#ifndef BBB_FAULT_FAULT_INJECTOR_HH
+#define BBB_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "energy/energy_model.hh"
+#include "fault/fault_plan.hh"
+#include "mem/backing_store.hh"
+#include "mem/mem_ctrl.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+/** How one media write attempt sequence ended. */
+struct MediaWriteOutcome
+{
+    /** Terminal failure: only the first half of the block was written. */
+    bool torn = false;
+    /** Failed attempts before success/tearing (0 on a clean write). */
+    unsigned retries = 0;
+    /** Backoff latency accumulated by the retries. */
+    Tick backoff = 0;
+};
+
+/** Injects a FaultPlan's failures and keeps the fault ledger. */
+class FaultInjector
+{
+  public:
+    /** Bytes of a torn block that still reach media (the first half). */
+    static constexpr unsigned kTornBytes = kBlockSize / 2;
+
+    explicit FaultInjector(const FaultPlan &plan)
+        : _plan(plan), _rng(plan.fault_seed ^ 0xfa017ull),
+          _battery(plan.battery_j)
+    {
+    }
+
+    const FaultPlan &plan() const { return _plan; }
+    BatteryBudget &battery() { return _battery; }
+    const BatteryBudget &battery() const { return _battery; }
+
+    /**
+     * Perform one media write of @p data to @p block in @p store,
+     * sampling the plan's failure probability per attempt. On terminal
+     * failure only the first kTornBytes land (a torn block); the block
+     * and its intended content are recorded in the fault ledger. A
+     * successful write clears any stale ledger entry for the block.
+     */
+    MediaWriteOutcome performMediaWrite(BackingStore &store, Addr block,
+                                        const BlockData &data);
+
+    /** --- Attempt-level media API (event-driven WPQ retirement) ------- */
+
+    /** Sample one media write attempt; true if it fails. */
+    bool
+    sampleMediaAttemptFails()
+    {
+        return _plan.media_fail_p > 0.0 && _rng.chance(_plan.media_fail_p);
+    }
+
+    /** A failed attempt will be retried (latency charged by the caller). */
+    void noteRetry() { ++_media_retries; }
+
+    /** Terminal failure: commit the torn half-block and ledger the rest. */
+    void
+    commitTorn(BackingStore &store, Addr block, const BlockData &intended)
+    {
+        store.write(block, intended.bytes.data(), kTornBytes);
+        _damaged[block] = intended;
+        ++_torn_blocks;
+    }
+
+    /** A clean full-block write landed: supersede any old damage. */
+    void noteCleanWrite(Addr block) { _damaged.erase(block); }
+
+    /** A crash-time block was sacrificed to an exhausted battery. */
+    void
+    noteSacrificed(Addr block, const BlockData &intended)
+    {
+        _damaged[block] = intended;
+        ++_sacrificed_blocks;
+    }
+
+    /** A crash-time sub-block store-buffer write was sacrificed. */
+    void
+    noteSacrificedBytes(const BackingStore &store, Addr addr,
+                        const void *src, unsigned size);
+
+    /** --- Fault ledger ------------------------------------------------ */
+
+    /**
+     * Blocks the injected faults damaged (torn or sacrificed), with the
+     * content an un-faulted run would have persisted. Ordered by address
+     * so oracle walks are deterministic.
+     */
+    const std::map<Addr, BlockData> &damagedBlocks() const
+    {
+        return _damaged;
+    }
+
+    /**
+     * Intended content of @p block if it is ledgered as damaged, else
+     * nullptr. The controller forwards this on powered reads: a torn
+     * block's write data still lingers in controller buffers while power
+     * is on, so a runtime tear costs retry latency but never feeds torn
+     * bytes back into execution — the tear surfaces only in the
+     * post-crash image. (Without this, corruption read back mid-run
+     * propagates into derived values the ledger cannot explain, and the
+     * recovery oracle misclassifies injected damage as a bug.)
+     */
+    const BlockData *
+    intendedContent(Addr block) const
+    {
+        auto it = _damaged.find(block);
+        return it == _damaged.end() ? nullptr : &it->second;
+    }
+
+    /** Write every damaged block's intended content into @p store. */
+    void repairImage(BackingStore &store) const;
+
+    std::uint64_t tornBlocks() const { return _torn_blocks; }
+    std::uint64_t mediaRetries() const { return _media_retries; }
+    std::uint64_t sacrificedBlocks() const { return _sacrificed_blocks; }
+
+  private:
+    FaultPlan _plan;
+    Rng _rng;
+    BatteryBudget _battery;
+
+    /** block -> content an un-faulted run would have persisted. */
+    std::map<Addr, BlockData> _damaged;
+
+    std::uint64_t _torn_blocks = 0;
+    std::uint64_t _media_retries = 0;
+    std::uint64_t _sacrificed_blocks = 0;
+};
+
+} // namespace bbb
+
+#endif // BBB_FAULT_FAULT_INJECTOR_HH

@@ -14,6 +14,7 @@
 #ifndef BBB_MEM_BACKING_STORE_HH
 #define BBB_MEM_BACKING_STORE_HH
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <unordered_map>
@@ -107,6 +108,41 @@ class BackingStore
 
     /** Deep copy of the image (used to snapshot the post-crash state). */
     BackingStore clone() const { return *this; }
+
+    /**
+     * Content fingerprint (FNV-1a over pages in address order). All-zero
+     * pages hash like absent ones, so two images are equal-by-content iff
+     * their fingerprints match regardless of which pages materialised.
+     * Used to compare post-crash images across runs (determinism tests,
+     * campaign repro lines).
+     */
+    std::uint64_t
+    fingerprint() const
+    {
+        std::vector<Addr> pages;
+        pages.reserve(_pages.size());
+        for (const auto &kv : _pages)
+            pages.push_back(kv.first);
+        std::sort(pages.begin(), pages.end());
+
+        std::uint64_t h = 1469598103934665603ull; // FNV offset basis
+        auto mix = [&h](const unsigned char *p, std::size_t n) {
+            for (std::size_t i = 0; i < n; ++i) {
+                h ^= p[i];
+                h *= 1099511628211ull; // FNV prime
+            }
+        };
+        static const Page kZero{};
+        for (Addr page : pages) {
+            const Page &p = _pages.at(page);
+            if (p == kZero)
+                continue;
+            mix(reinterpret_cast<const unsigned char *>(&page),
+                sizeof(page));
+            mix(p.data(), p.size());
+        }
+        return h;
+    }
 
   private:
     using Page = std::array<unsigned char, kPageSize>;

@@ -1,6 +1,9 @@
 #include "mem/mem_ctrl.hh"
 
 #include <algorithm>
+#include <utility>
+
+#include "fault/fault_injector.hh"
 
 namespace bbb
 {
@@ -26,6 +29,12 @@ MemCtrl::MemCtrl(std::string name, const MemConfig &cfg, EventQueue &eq,
     g.addCounter("wpq_rejects", &_wpq_rejects,
                  "writes rejected because the WPQ was full");
     g.addCounter("wpq_inserts", &_wpq_inserts, "blocks accepted into WPQ");
+    g.addCounter("wpq_bypass_writes", &_wpq_bypass_writes,
+                 "blocks force-written past a full WPQ");
+    g.addCounter("media_retry_writes", &_media_retry_writes,
+                 "media write attempts retried after injected failures");
+    g.addCounter("torn_writes", &_torn_writes,
+                 "media writes torn by terminal injected failures");
     g.addAverage("read_latency_ticks", &_read_latency,
                  "average block read latency");
 }
@@ -56,6 +65,13 @@ MemCtrl::readBlock(Addr addr, BlockData &out)
     }
 
     _store.readBlock(block, out.bytes.data());
+    // While power is on the controller forwards the intended content of a
+    // torn block (the write data lingers in its buffers); the tear only
+    // surfaces in the post-crash image. See FaultInjector::intendedContent.
+    if (_faults) {
+        if (const BlockData *intended = _faults->intendedContent(block))
+            out = *intended;
+    }
     ++_media_reads;
     Tick start = reserveChannel(channelOf(block), _cfg.read_occupancy);
     Tick lat = (start - _eq.now()) + _cfg.read_latency;
@@ -126,8 +142,42 @@ MemCtrl::completeRetire(std::uint64_t seq)
 {
     auto it = _wpq.find(seq);
     BBB_ASSERT(it != _wpq.end(), "retired WPQ entry vanished");
-    const WpqEntry &e = it->second;
+    WpqEntry &e = it->second;
+
+    if (_faults && _faults->sampleMediaAttemptFails()) {
+        if (e.attempts < _faults->plan().media_retries) {
+            // Retry after exponential backoff; the entry stays pending
+            // (and durable) in the WPQ, its channel slot is re-reserved,
+            // and the backoff is charged as extra retirement latency.
+            ++e.attempts;
+            _faults->noteRetry();
+            ++_media_retry_writes;
+            Tick backoff = _faults->plan().media_backoff
+                           << (e.attempts - 1);
+            reserveChannel(channelOf(e.addr), _cfg.write_occupancy);
+            _eq.schedule(
+                _eq.now() + backoff + _cfg.write_latency,
+                [this, seq]() { completeRetire(seq); },
+                EventPriority::MemResponse);
+            return;
+        }
+        // Retries exhausted: the media tears the block, persisting only
+        // its first half. The entry leaves the WPQ -- the durability
+        // guarantee is broken, which is exactly what the fault models.
+        _faults->commitTorn(_store, e.addr, e.data);
+        ++_torn_writes;
+        ++_media_writes;
+        _bytes_written += FaultInjector::kTornBytes;
+        _wpq_index.erase(e.addr);
+        _wpq.erase(it);
+        --_retiring;
+        scheduleRetire();
+        return;
+    }
+
     _store.writeBlock(e.addr, e.data.bytes.data());
+    if (_faults)
+        _faults->noteCleanWrite(e.addr);
     ++_media_writes;
     _bytes_written += kBlockSize;
     _wpq_index.erase(e.addr);
@@ -148,6 +198,22 @@ MemCtrl::forceWrite(Addr addr, const BlockData &data)
         ++_wpq_coalesces;
         return;
     }
+    ++_wpq_bypass_writes;
+    if (_faults && _faults->plan().injectsMediaFaults()) {
+        // The caller already charges the bypass stall as latency; the
+        // retry backoff folds into that synchronous cost.
+        MediaWriteOutcome out =
+            _faults->performMediaWrite(_store, block, data);
+        _media_retry_writes += out.retries;
+        ++_media_writes;
+        if (out.torn) {
+            ++_torn_writes;
+            _bytes_written += FaultInjector::kTornBytes;
+        } else {
+            _bytes_written += kBlockSize;
+        }
+        return;
+    }
     _store.writeBlock(block, data.bytes.data());
     ++_media_writes;
     _bytes_written += kBlockSize;
@@ -163,6 +229,10 @@ MemCtrl::peekBlock(Addr addr, BlockData &out) const
         return;
     }
     _store.readBlock(block, out.bytes.data());
+    if (_faults) {
+        if (const BlockData *intended = _faults->intendedContent(block))
+            out = *intended;
+    }
 }
 
 std::size_t
@@ -179,6 +249,20 @@ MemCtrl::drainAllToMedia()
     _wpq_index.clear();
     _retiring = 0;
     return n;
+}
+
+std::vector<std::pair<Addr, BlockData>>
+MemCtrl::takeWpqForCrash()
+{
+    std::vector<std::pair<Addr, BlockData>> out;
+    out.reserve(_wpq.size());
+    // std::map iterates in sequence order == FIFO insertion order.
+    for (const auto &kv : _wpq)
+        out.emplace_back(kv.second.addr, kv.second.data);
+    _wpq.clear();
+    _wpq_index.clear();
+    _retiring = 0;
+    return out;
 }
 
 } // namespace bbb

@@ -31,6 +31,8 @@
 namespace bbb
 {
 
+class FaultInjector;
+
 /** A 64-byte block travelling through the memory system. */
 struct BlockData
 {
@@ -76,12 +78,17 @@ class MemCtrl
 
     /**
      * Offer a block to the WPQ.
-     * @return false if the WPQ is full (caller must retry); on success the
-     *         block is durable (for the NVMM controller) and will retire
-     *         to media asynchronously. Writes to a block already pending
-     *         coalesce in place.
+     * @return false if the WPQ is full; on success the block is durable
+     *         (for the NVMM controller) and will retire to media
+     *         asynchronously. Writes to a block already pending coalesce
+     *         in place.
+     *
+     * The return is [[nodiscard]] on purpose: a dropped false is a
+     * silently lost store. Every caller must either retry later
+     * (charging the stall) or escalate to forceWrite() when the write
+     * must land now (evictions, synchronous drains).
      */
-    bool enqueueWrite(Addr addr, const BlockData &data);
+    [[nodiscard]] bool enqueueWrite(Addr addr, const BlockData &data);
 
     /** True if a subsequent enqueueWrite() would be accepted. */
     bool canAcceptWrite(Addr addr) const;
@@ -99,6 +106,17 @@ class MemCtrl
     /** Number of blocks currently pending in the WPQ. */
     std::size_t wpqOccupancy() const { return _wpq.size(); }
 
+    /** --- Fault injection -------------------------------------------- */
+
+    /**
+     * Attach a fault injector: every media write (retirement, force
+     * write) then fails with the plan's probability, retrying with
+     * exponential backoff charged as extra retirement latency, and tears
+     * the block on terminal failure. nullptr (the default) restores
+     * perfectly reliable media.
+     */
+    void setFaultInjector(FaultInjector *faults) { _faults = faults; }
+
     /** --- Crash support ---------------------------------------------- */
 
     /**
@@ -106,6 +124,22 @@ class MemCtrl
      * (functionally) and return the number of blocks drained.
      */
     std::size_t drainAllToMedia();
+
+    /**
+     * Crash-time handover to the crash engine: return the pending WPQ
+     * blocks in FIFO (oldest-first) order and clear the queue. The
+     * engine owns the budgeted, fault-injected drain of these records;
+     * it reports each media commit back through creditCrashCommit().
+     */
+    std::vector<std::pair<Addr, BlockData>> takeWpqForCrash();
+
+    /** Account one flush-on-fail media commit the crash engine made. */
+    void
+    creditCrashCommit()
+    {
+        ++_media_writes;
+        _bytes_written += kBlockSize;
+    }
 
     /** --- Stats ------------------------------------------------------ */
 
@@ -139,12 +173,15 @@ class MemCtrl
         Addr addr;
         BlockData data;
         bool retiring = false;
+        /** Failed media attempts so far (fault injection). */
+        unsigned attempts = 0;
     };
 
     std::string _name;
     MemConfig _cfg;
     EventQueue &_eq;
     BackingStore &_store;
+    FaultInjector *_faults = nullptr;
 
     /**
      * Pending writes in FIFO (sequence) order; std::map iteration order is
@@ -164,6 +201,9 @@ class MemCtrl
     StatCounter _wpq_coalesces;
     StatCounter _wpq_rejects;
     StatCounter _wpq_inserts;
+    StatCounter _wpq_bypass_writes;
+    StatCounter _media_retry_writes;
+    StatCounter _torn_writes;
     StatAverage _read_latency;
 };
 

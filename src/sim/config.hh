@@ -204,6 +204,16 @@ struct SystemConfig
      */
     bool pmem_auto_strict = false;
 
+    /**
+     * Debug: validate the hierarchy/backend structural invariants (LLC
+     * inclusion, directory consistency, single-writer, bbPB dirty
+     * inclusion) on a sampled schedule during run() and once more at
+     * crash time. Off by default — each check walks every cache array.
+     */
+    bool check_invariants = false;
+    /** Core cycles between sampled invariant checks when enabled. */
+    std::uint64_t invariant_check_cycles = 20000;
+
     /** RNG seed shared by workloads and timing jitter. */
     std::uint64_t seed = 1;
 

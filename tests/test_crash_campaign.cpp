@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Campaign-level tests: the seeded crash-fault campaign classifies every
+ * sample, never reports an oracle violation on the current tree, produces
+ * bit-identical summaries at any jobs width, and individual samples
+ * (including double-crash plans) replay exactly from their repro line.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+SystemConfig
+campaignCfg()
+{
+    SystemConfig cfg;
+    cfg.num_cores = 2;
+    cfg.l1d.size_bytes = 4_KiB;
+    cfg.llc.size_bytes = 16_KiB;
+    cfg.dram.size_bytes = 64_MiB;
+    cfg.nvmm.size_bytes = 64_MiB;
+    cfg.mode = PersistMode::BbbMemSide;
+    cfg.bbpb.entries = 8;
+    cfg.l1d.repl = ReplPolicy::Random;
+    cfg.llc.repl = ReplPolicy::Random;
+    return cfg;
+}
+
+CampaignSpec
+smallSpec()
+{
+    CampaignSpec spec;
+    spec.base = campaignCfg();
+    spec.workloads = {"hashmap", "btree", "skiplist"};
+    spec.params.ops_per_thread = 500;
+    spec.params.initial_elements = 100;
+    spec.params.array_elements = 1 << 12;
+    spec.crash_points = 14;
+    spec.min_crash_tick = nsToTicks(2000);
+    spec.max_crash_tick = nsToTicks(120000);
+    spec.campaign_seed = 2026;
+    return spec;
+}
+
+void
+expectSameResult(const CrashSampleResult &a, const CrashSampleResult &b)
+{
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.image_fingerprint, b.image_fingerprint);
+    EXPECT_EQ(a.damaged_blocks, b.damaged_blocks);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.crash_tick, b.crash_tick);
+    EXPECT_EQ(a.report.wpq_blocks, b.report.wpq_blocks);
+    EXPECT_EQ(a.report.bbpb_blocks, b.report.bbpb_blocks);
+    EXPECT_EQ(a.report.sb_entries, b.report.sb_entries);
+    EXPECT_EQ(a.report.drained_bytes, b.report.drained_bytes);
+    EXPECT_EQ(a.report.sacrificed_blocks, b.report.sacrificed_blocks);
+    EXPECT_EQ(a.report.torn_media_blocks, b.report.torn_media_blocks);
+    EXPECT_EQ(a.report.media_retries, b.report.media_retries);
+    EXPECT_EQ(a.report.recrashes, b.report.recrashes);
+    EXPECT_EQ(a.report.battery_exhausted, b.report.battery_exhausted);
+    EXPECT_EQ(a.report.drain_prefix_ok, b.report.drain_prefix_ok);
+    EXPECT_DOUBLE_EQ(a.report.battery_spent_j, b.report.battery_spent_j);
+    EXPECT_EQ(a.raw.intact, b.raw.intact);
+    EXPECT_EQ(a.raw.torn, b.raw.torn);
+    EXPECT_EQ(a.raw.dangling, b.raw.dangling);
+    EXPECT_EQ(a.repaired.intact, b.repaired.intact);
+}
+
+} // namespace
+
+TEST(CrashCampaign, PlanIsAPureFunctionOfTheSpec)
+{
+    CampaignSpec spec = smallSpec();
+    auto a = planCampaign(spec);
+    auto b = planCampaign(spec);
+    ASSERT_EQ(a.size(), b.size());
+    // 3 workloads x 5 presets x 14 points.
+    EXPECT_EQ(a.size(), 3u * faultPlanPresets().size() * 14u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].crash_tick, b[i].crash_tick);
+        EXPECT_EQ(a[i].params.seed, b[i].params.seed);
+        EXPECT_EQ(a[i].plan.fault_seed, b[i].plan.fault_seed);
+        EXPECT_EQ(a[i].workload, b[i].workload);
+    }
+    spec.campaign_seed = 2027;
+    auto c = planCampaign(spec);
+    EXPECT_NE(a[0].crash_tick ^ a[1].params.seed,
+              c[0].crash_tick ^ c[1].params.seed);
+}
+
+TEST(CrashCampaign, FullSweepClassifiesEverySampleWithNoViolations)
+{
+    CampaignSpec spec = smallSpec();
+    CampaignSummary summary = runCrashCampaign(spec);
+
+    ASSERT_GE(summary.results.size(), 200u)
+        << "acceptance floor: >= 200 samples across >= 3 workloads";
+    EXPECT_TRUE(summary.allClassified());
+    EXPECT_GT(summary.clean, 0u)
+        << "no fault-free sample recovered cleanly";
+    EXPECT_GT(summary.degraded, 0u)
+        << "no plan ever damaged anything; the campaign is vacuous";
+
+    const CrashSampleResult *bug = summary.firstViolation();
+    EXPECT_EQ(summary.violations, 0u)
+        << "repro: " << (bug ? bug->reproLine() : "");
+
+    // The "none" preset must reproduce today's clean behaviour exactly.
+    for (const CrashSampleResult &r : summary.results) {
+        if (r.plan_name != "none")
+            continue;
+        EXPECT_EQ(r.outcome, CampaignOutcome::Clean) << r.reproLine();
+        EXPECT_EQ(r.damaged_blocks, 0u);
+        EXPECT_EQ(r.report.sacrificed_blocks, 0u);
+        EXPECT_TRUE(r.raw.consistent());
+    }
+    // And the undersized-battery presets must show graceful degradation
+    // somewhere in the sweep.
+    bool battery_degraded = false;
+    for (const CrashSampleResult &r : summary.results) {
+        if (r.report.battery_exhausted &&
+            r.outcome == CampaignOutcome::DegradedPrefix)
+            battery_degraded = true;
+    }
+    EXPECT_TRUE(battery_degraded)
+        << "no battery plan exhausted mid-drain; shrink battery_j";
+}
+
+TEST(CrashCampaign, SerialAndParallelSummariesAreBitIdentical)
+{
+    CampaignSpec spec = smallSpec();
+    spec.workloads = {"hashmap", "linkedlist"};
+    spec.crash_points = 3;
+    CampaignSummary serial = runCrashCampaign(spec, /*jobs=*/1);
+    CampaignSummary wide = runCrashCampaign(spec, /*jobs=*/4);
+
+    ASSERT_EQ(serial.results.size(), wide.results.size());
+    EXPECT_EQ(serial.clean, wide.clean);
+    EXPECT_EQ(serial.degraded, wide.degraded);
+    EXPECT_EQ(serial.violations, wide.violations);
+    for (std::size_t i = 0; i < serial.results.size(); ++i)
+        expectSameResult(serial.results[i], wide.results[i]);
+}
+
+TEST(CrashCampaign, SampleReplayIsExact)
+{
+    // The repro contract: re-running a planned sample (what the
+    // --workload/--seed/--crash-tick/--fault-plan flags reconstruct)
+    // reproduces the result bit for bit -- including a double-crash
+    // (re-crash mid-drain) plan.
+    CampaignSpec spec = smallSpec();
+    spec.workloads = {"ctree"};
+    spec.crash_points = 2;
+    std::vector<CrashSample> samples = planCampaign(spec);
+
+    const CrashSample *recrash_sample = nullptr;
+    for (const CrashSample &s : samples) {
+        if (s.plan.recrash_after_blocks > 0)
+            recrash_sample = &s;
+    }
+    ASSERT_NE(recrash_sample, nullptr)
+        << "presets no longer include a recrash plan";
+
+    const CrashSample *first_sample = &samples.front();
+    for (const CrashSample *s : {first_sample, recrash_sample}) {
+        CrashSampleResult first = runCrashSample(*s);
+        CrashSampleResult again = runCrashSample(*s);
+        expectSameResult(first, again);
+        EXPECT_EQ(first.reproLine(), again.reproLine());
+        EXPECT_NE(first.reproLine().find("--crash-tick"),
+                  std::string::npos);
+    }
+}

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Unit tests for the fault layer: FaultPlan serialisation, the battery
+ * budget, media write failures (runtime and crash time), the fault
+ * ledger + repair oracle, sacrifice prefix behaviour, and the
+ * fault-free-equivalence guarantee of a disabled plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/system.hh"
+#include "energy/energy_model.hh"
+#include "fault/campaign.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
+#include "mem/mem_ctrl.hh"
+#include "workloads/workload.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+SystemConfig
+smallCfg(PersistMode mode = PersistMode::BbbMemSide)
+{
+    SystemConfig cfg;
+    cfg.num_cores = 2;
+    cfg.l1d.size_bytes = 4_KiB;
+    cfg.llc.size_bytes = 16_KiB;
+    cfg.dram.size_bytes = 64_MiB;
+    cfg.nvmm.size_bytes = 64_MiB;
+    cfg.mode = mode;
+    cfg.bbpb.entries = 8;
+    return cfg;
+}
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.ops_per_thread = 600;
+    p.initial_elements = 120;
+    p.array_elements = 1 << 12;
+    return p;
+}
+
+BlockData
+filled(unsigned char v)
+{
+    BlockData d;
+    d.bytes.fill(v);
+    return d;
+}
+
+} // namespace
+
+TEST(FaultPlan, RoundTripsThroughToString)
+{
+    std::vector<FaultPlan> plans;
+    plans.push_back(FaultPlan{});
+    for (const NamedFaultPlan &np : faultPlanPresets())
+        plans.push_back(np.plan);
+    FaultPlan custom;
+    custom.battery_j = 3.25e-6;
+    custom.media_fail_p = 0.015625;
+    custom.media_retries = 5;
+    custom.media_backoff = nsToTicks(250);
+    custom.recrash_after_blocks = 7;
+    custom.recrash_budget_factor = 0.375;
+    custom.fault_seed = 99;
+    plans.push_back(custom);
+
+    for (const FaultPlan &plan : plans) {
+        FaultPlan parsed = FaultPlan::parse(plan.toString());
+        EXPECT_EQ(parsed, plan) << "token: " << plan.toString();
+    }
+    EXPECT_EQ(FaultPlan{}.toString(), "none");
+    EXPECT_TRUE(FaultPlan::parse("drained-battery").enabled());
+}
+
+TEST(BatteryBudget, ChargesUntilExhaustedThenRefuses)
+{
+    BatteryBudget b(10.0);
+    EXPECT_TRUE(b.limited());
+    EXPECT_TRUE(b.charge(6.0));
+    EXPECT_FALSE(b.charge(5.0)); // would overdraw: refuse, consume nothing
+    EXPECT_DOUBLE_EQ(b.spentJ(), 6.0);
+    EXPECT_TRUE(b.charge(4.0)); // exactly the remainder fits
+    EXPECT_FALSE(b.charge(1e-9));
+
+    BatteryBudget unlimited;
+    EXPECT_FALSE(unlimited.limited());
+    EXPECT_TRUE(unlimited.charge(1e9));
+}
+
+TEST(BatteryBudget, ScaleResidualShrinksOnlyTheRemainder)
+{
+    BatteryBudget b(10.0);
+    ASSERT_TRUE(b.charge(4.0));
+    b.scaleResidual(0.5); // 6 J left -> 3 J left
+    EXPECT_DOUBLE_EQ(b.remainingJ(), 3.0);
+    EXPECT_FALSE(b.charge(3.1));
+    EXPECT_TRUE(b.charge(3.0));
+}
+
+TEST(FaultInjector, TerminalMediaFailureTearsTheBlock)
+{
+    FaultPlan plan;
+    plan.media_fail_p = 1.0; // every attempt fails
+    plan.media_retries = 2;
+    FaultInjector inj(plan);
+    BackingStore store;
+    store.writeBlock(0, filled(0xaa).bytes.data()); // old media content
+
+    MediaWriteOutcome out = inj.performMediaWrite(store, 0, filled(0xbb));
+    EXPECT_TRUE(out.torn);
+    EXPECT_EQ(out.retries, 2u);
+    EXPECT_GT(out.backoff, 0u);
+
+    BlockData img;
+    store.readBlock(0, img.bytes.data());
+    EXPECT_EQ(img.bytes[0], 0xbb);                        // new half
+    EXPECT_EQ(img.bytes[FaultInjector::kTornBytes], 0xaa); // stale half
+    EXPECT_EQ(inj.tornBlocks(), 1u);
+    ASSERT_EQ(inj.damagedBlocks().count(0), 1u);
+
+    // The ledger repairs the tear back to the intended content.
+    inj.repairImage(store);
+    store.readBlock(0, img.bytes.data());
+    EXPECT_EQ(img.bytes[kBlockSize - 1], 0xbb);
+}
+
+TEST(FaultInjector, CleanWriteSupersedesLedgeredDamage)
+{
+    FaultPlan plan;
+    plan.media_fail_p = 0.5;
+    FaultInjector inj(plan);
+    BackingStore store;
+    inj.commitTorn(store, 0, filled(0x11));
+    ASSERT_EQ(inj.damagedBlocks().size(), 1u);
+    store.writeBlock(0, filled(0x22).bytes.data());
+    inj.noteCleanWrite(0);
+    EXPECT_TRUE(inj.damagedBlocks().empty());
+}
+
+TEST(MemCtrl, InjectedMediaFailuresRetryWithBackoffThenTear)
+{
+    EventQueue eq;
+    BackingStore store;
+    StatRegistry stats;
+    MemConfig mcfg;
+    mcfg.write_latency = nsToTicks(500);
+    mcfg.write_occupancy = nsToTicks(28);
+    mcfg.channels = 1;
+    mcfg.wpq_entries = 4;
+    MemCtrl mc("nvmm", mcfg, eq, store, stats);
+
+    FaultPlan plan;
+    plan.media_fail_p = 1.0;
+    plan.media_retries = 3;
+    plan.media_backoff = nsToTicks(100);
+    FaultInjector inj(plan);
+    mc.setFaultInjector(&inj);
+
+    ASSERT_TRUE(mc.enqueueWrite(0, filled(0x5a)));
+    eq.run();
+
+    // 3 retries with exponential backoff, then the terminal tear.
+    EXPECT_EQ(stats.lookup("nvmm", "media_retry_writes"), 3u);
+    EXPECT_EQ(stats.lookup("nvmm", "torn_writes"), 1u);
+    EXPECT_EQ(mc.wpqOccupancy(), 0u);
+    BlockData img;
+    store.readBlock(0, img.bytes.data());
+    EXPECT_EQ(img.bytes[0], 0x5a);
+    EXPECT_EQ(img.bytes[kBlockSize - 1], 0x00); // second half never landed
+    // Backoff was charged as simulated time: 100 + 200 + 400 ns of
+    // backoff plus four write latencies must have elapsed.
+    EXPECT_GE(eq.now(), nsToTicks(100 + 200 + 400) + 4 * mcfg.write_latency);
+    EXPECT_EQ(inj.mediaRetries(), 3u);
+}
+
+TEST(System, DisabledPlanIsBitIdenticalToNoPlan)
+{
+    CrashReport reports[2];
+    std::uint64_t prints[2];
+    for (int with_plan = 0; with_plan < 2; ++with_plan) {
+        SystemConfig cfg = smallCfg();
+        System sys(cfg);
+        if (with_plan)
+            sys.setFaultPlan(FaultPlan{}); // "none": must detach entirely
+        auto wl = makeWorkload("hashmap", smallParams());
+        wl->install(sys);
+        reports[with_plan] = sys.runAndCrashAt(nsToTicks(60000));
+        prints[with_plan] = sys.image().fingerprint();
+        EXPECT_TRUE(wl->checkRecovery(sys.pmemImage()).consistent());
+    }
+    EXPECT_EQ(prints[0], prints[1]);
+    EXPECT_EQ(reports[0].wpq_blocks, reports[1].wpq_blocks);
+    EXPECT_EQ(reports[0].bbpb_blocks, reports[1].bbpb_blocks);
+    EXPECT_EQ(reports[0].sb_entries, reports[1].sb_entries);
+    EXPECT_EQ(reports[0].drained_bytes, reports[1].drained_bytes);
+    EXPECT_EQ(reports[0].sacrificed_blocks, 0u);
+    EXPECT_FALSE(reports[0].battery_exhausted);
+    EXPECT_TRUE(reports[0].drain_prefix_ok);
+}
+
+TEST(System, UndersizedBatterySacrificesAnOldestFirstSuffix)
+{
+    SystemConfig cfg = smallCfg();
+    System sys(cfg);
+    // A tiny fraction of the worst-case budget: the drain must run out.
+    FaultPlan plan = undersizedBatteryPlan(cfg, 0.02);
+    sys.setFaultPlan(plan);
+    auto wl = makeWorkload("btree", smallParams());
+    wl->install(sys);
+
+    CrashReport rep = sys.runAndCrashAt(nsToTicks(60000));
+    EXPECT_TRUE(rep.battery_exhausted);
+    EXPECT_GT(rep.sacrificed_blocks, 0u);
+    EXPECT_TRUE(rep.drain_prefix_ok); // survivors = oldest-first prefix
+    EXPECT_GT(rep.battery_spent_j, 0.0);
+    EXPECT_LE(rep.battery_spent_j, plan.battery_j + 1e-18);
+
+    const FaultInjector *inj = sys.faultInjector();
+    ASSERT_NE(inj, nullptr);
+    EXPECT_EQ(inj->sacrificedBlocks(), rep.sacrificed_blocks);
+
+    // Oracle: restoring exactly the sacrificed blocks must restore a
+    // consistent structure -- the damage is fully explained.
+    BackingStore healed = sys.image().clone();
+    inj->repairImage(healed);
+    RecoveryResult repaired =
+        wl->checkRecovery(PmemImage(healed, sys.addrMap()));
+    EXPECT_TRUE(repaired.consistent());
+}
+
+TEST(System, RecrashShrinksTheResidualBudgetDeterministically)
+{
+    CrashReport reports[2];
+    std::uint64_t prints[2];
+    for (int run = 0; run < 2; ++run) {
+        SystemConfig cfg = smallCfg();
+        System sys(cfg);
+        FaultPlan plan = undersizedBatteryPlan(cfg, 0.2);
+        plan.recrash_after_blocks = 6;
+        plan.recrash_budget_factor = 0.25;
+        sys.setFaultPlan(plan);
+        auto wl = makeWorkload("skiplist", smallParams());
+        wl->install(sys);
+        reports[run] = sys.runAndCrashAt(nsToTicks(60000));
+        prints[run] = sys.image().fingerprint();
+    }
+    EXPECT_EQ(reports[0].recrashes, 1u);
+    EXPECT_TRUE(reports[0].drain_prefix_ok);
+    // Double crash is exactly repeatable: same report, same image.
+    EXPECT_EQ(prints[0], prints[1]);
+    EXPECT_EQ(reports[0].sacrificed_blocks, reports[1].sacrificed_blocks);
+    EXPECT_EQ(reports[0].wpq_blocks, reports[1].wpq_blocks);
+    EXPECT_EQ(reports[0].bbpb_blocks, reports[1].bbpb_blocks);
+    EXPECT_DOUBLE_EQ(reports[0].battery_spent_j,
+                     reports[1].battery_spent_j);
+}
+
+TEST(System, SampledInvariantCheckingRunsCleanAcrossModes)
+{
+    for (PersistMode mode :
+         {PersistMode::BbbMemSide, PersistMode::BbbProcSide,
+          PersistMode::Eadr}) {
+        SystemConfig cfg = smallCfg(mode);
+        cfg.check_invariants = true;
+        cfg.invariant_check_cycles = 2000;
+        System sys(cfg);
+        auto wl = makeWorkload("ctree", smallParams());
+        wl->install(sys);
+        // Sampled checks run during execution and once at crash time;
+        // any violation panics and fails the test.
+        sys.runAndCrashAt(nsToTicks(40000));
+    }
+}
+
+TEST(System, MediaFaultsDuringRunLeaveOnlyExplainedDamage)
+{
+    SystemConfig cfg = smallCfg();
+    System sys(cfg);
+    FaultPlan plan;
+    plan.media_fail_p = 0.2;
+    plan.media_retries = 1;
+    plan.fault_seed = 7;
+    sys.setFaultPlan(plan);
+    auto wl = makeWorkload("hashmap", smallParams());
+    wl->install(sys);
+    CrashReport rep = sys.runAndCrashAt(nsToTicks(60000));
+    (void)rep;
+
+    const FaultInjector *inj = sys.faultInjector();
+    ASSERT_NE(inj, nullptr);
+    EXPECT_GT(inj->tornBlocks() + inj->mediaRetries(), 0u)
+        << "plan injected nothing; raise media_fail_p or the window";
+
+    BackingStore healed = sys.image().clone();
+    inj->repairImage(healed);
+    EXPECT_TRUE(
+        wl->checkRecovery(PmemImage(healed, sys.addrMap())).consistent());
+}

@@ -69,6 +69,14 @@ class RecordingBackend : public PersistencyBackend
         return held.count({c, blockAlign(block)}) != 0;
     }
 
+    void
+    forEachHeld(
+        const std::function<void(CoreId, Addr)> &fn) const override
+    {
+        for (const auto &kv : held)
+            fn(kv.first, kv.second);
+    }
+
     std::size_t occupancy() const override { return held.size(); }
     std::vector<PersistRecord> crashDrain() override { return {}; }
 };

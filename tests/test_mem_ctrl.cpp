@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "mem/backing_store.hh"
 #include "mem/mem_ctrl.hh"
 #include "sim/event_queue.hh"
@@ -67,7 +69,7 @@ TEST(MemCtrl, CoalescesPendingBlocksEvenWhenFull)
     Ctx ctx;
     MemCtrl mc = ctx.make();
     for (Addr i = 0; i < 4; ++i)
-        mc.enqueueWrite(i * kBlockSize, pattern(1));
+        ASSERT_TRUE(mc.enqueueWrite(i * kBlockSize, pattern(1)));
     // Full, but block 0 is pending: a re-write coalesces.
     EXPECT_TRUE(mc.canAcceptWrite(0));
     EXPECT_TRUE(mc.enqueueWrite(0, pattern(9)));
@@ -83,7 +85,7 @@ TEST(MemCtrl, WritesRetireToMedia)
 {
     Ctx ctx;
     MemCtrl mc = ctx.make();
-    mc.enqueueWrite(kBlockSize, pattern(7));
+    ASSERT_TRUE(mc.enqueueWrite(kBlockSize, pattern(7)));
     EXPECT_EQ(mc.mediaWrites(), 0u);
     ctx.eq.run();
     EXPECT_EQ(mc.mediaWrites(), 1u);
@@ -95,7 +97,7 @@ TEST(MemCtrl, RetirementTakesWriteLatency)
 {
     Ctx ctx;
     MemCtrl mc = ctx.make();
-    mc.enqueueWrite(0, pattern(1));
+    ASSERT_TRUE(mc.enqueueWrite(0, pattern(1)));
     ctx.eq.run();
     EXPECT_EQ(ctx.eq.now(), nsToTicks(500));
 }
@@ -105,8 +107,8 @@ TEST(MemCtrl, ChannelOccupancySerialisesSameChannel)
     Ctx ctx;
     MemCtrl mc = ctx.make();
     // Blocks 0 and 2*64 map to channel 0 with 2 channels.
-    mc.enqueueWrite(0, pattern(1));
-    mc.enqueueWrite(2 * kBlockSize, pattern(2));
+    ASSERT_TRUE(mc.enqueueWrite(0, pattern(1)));
+    ASSERT_TRUE(mc.enqueueWrite(2 * kBlockSize, pattern(2)));
     ctx.eq.run();
     // Second write starts one occupancy later: 28 ns + 500 ns.
     EXPECT_EQ(ctx.eq.now(), nsToTicks(28) + nsToTicks(500));
@@ -116,8 +118,8 @@ TEST(MemCtrl, DistinctChannelsOverlap)
 {
     Ctx ctx;
     MemCtrl mc = ctx.make();
-    mc.enqueueWrite(0, pattern(1));            // channel 0
-    mc.enqueueWrite(kBlockSize, pattern(2));   // channel 1
+    ASSERT_TRUE(mc.enqueueWrite(0, pattern(1)));            // channel 0
+    ASSERT_TRUE(mc.enqueueWrite(kBlockSize, pattern(2)));   // channel 1
     ctx.eq.run();
     EXPECT_EQ(ctx.eq.now(), nsToTicks(500)); // fully parallel
 }
@@ -140,7 +142,7 @@ TEST(MemCtrl, ReadForwardsFromWpq)
 {
     Ctx ctx;
     MemCtrl mc = ctx.make();
-    mc.enqueueWrite(0, pattern(5));
+    ASSERT_TRUE(mc.enqueueWrite(0, pattern(5)));
     BlockData out;
     Tick lat = mc.readBlock(0, out);
     EXPECT_EQ(out.bytes[13], 5);
@@ -162,7 +164,7 @@ TEST(MemCtrl, ForceWriteCoalescesWithPendingEntry)
     // An older pending WPQ entry must not later overwrite a force write.
     Ctx ctx;
     MemCtrl mc = ctx.make();
-    mc.enqueueWrite(0, pattern(1));
+    ASSERT_TRUE(mc.enqueueWrite(0, pattern(1)));
     mc.forceWrite(0, pattern(2));
     ctx.eq.run();
     EXPECT_EQ(ctx.store.read64(0), 0x0202020202020202ull);
@@ -179,7 +181,7 @@ TEST(MemCtrl, PeekSeesWpqThenMedia)
     std::memcpy(&v, out.bytes.data(), 8);
     EXPECT_EQ(v, 111u);
 
-    mc.enqueueWrite(0, pattern(4));
+    ASSERT_TRUE(mc.enqueueWrite(0, pattern(4)));
     mc.peekBlock(0, out);
     EXPECT_EQ(out.bytes[0], 4);
 }
@@ -188,8 +190,8 @@ TEST(MemCtrl, DrainAllToMediaFlushesEverything)
 {
     Ctx ctx;
     MemCtrl mc = ctx.make();
-    mc.enqueueWrite(0, pattern(1));
-    mc.enqueueWrite(kBlockSize, pattern(2));
+    ASSERT_TRUE(mc.enqueueWrite(0, pattern(1)));
+    ASSERT_TRUE(mc.enqueueWrite(kBlockSize, pattern(2)));
     std::size_t drained = mc.drainAllToMedia();
     EXPECT_EQ(drained, 2u);
     EXPECT_EQ(mc.wpqOccupancy(), 0u);
@@ -211,12 +213,73 @@ TEST(MemCtrl, FifoRetirementOrder)
     Ctx ctx;
     ctx.cfg.channels = 1;
     MemCtrl mc = ctx.make();
-    mc.enqueueWrite(0, pattern(1));
-    mc.enqueueWrite(kBlockSize, pattern(2));
+    ASSERT_TRUE(mc.enqueueWrite(0, pattern(1)));
+    ASSERT_TRUE(mc.enqueueWrite(kBlockSize, pattern(2)));
     // Overwrite block 0 while pending: still one entry, newest data, and
     // it retires before block 1 (FIFO by allocation).
-    mc.enqueueWrite(0, pattern(9));
+    ASSERT_TRUE(mc.enqueueWrite(0, pattern(9)));
     ctx.eq.run();
     EXPECT_EQ(mc.mediaWrites(), 2u);
     EXPECT_EQ(ctx.store.read64(0), 0x0909090909090909ull);
+}
+
+TEST(MemCtrl, NoStoreSilentlyDroppedWhenWpqFills)
+{
+    // Regression for the enqueueWrite() contract audit: blast far more
+    // distinct blocks at the WPQ than it has entries, following the
+    // documented caller protocol (reject => explicit forceWrite
+    // escalation, as the hierarchy and the bbPB forced-drain paths do).
+    // Every store must land: a silently dropped write shows up as a
+    // stale final value.
+    Ctx ctx;
+    ctx.cfg.channels = 1; // slow retirement so rejects actually happen
+    MemCtrl mc = ctx.make();
+
+    std::map<Addr, unsigned char> final_value;
+    std::uint64_t rejects = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+        Addr block = (i % 16) * kBlockSize;
+        auto v = static_cast<unsigned char>(i + 1);
+        if (!mc.enqueueWrite(block, pattern(v))) {
+            ++rejects;
+            mc.forceWrite(block, pattern(v));
+        }
+        final_value[block] = v;
+    }
+    ASSERT_GT(rejects, 0u) << "test never exercised the full-WPQ path";
+    EXPECT_EQ(ctx.stats.lookup("nvmm", "wpq_rejects"), rejects);
+
+    ctx.eq.run();
+    EXPECT_EQ(mc.wpqOccupancy(), 0u);
+    for (const auto &[block, v] : final_value) {
+        BlockData out;
+        ctx.store.readBlock(block, out.bytes.data());
+        EXPECT_EQ(out.bytes[0], v) << "stale value in block " << block;
+        EXPECT_EQ(out.bytes[kBlockSize - 1], v)
+            << "torn value in block " << block;
+    }
+}
+
+TEST(MemCtrl, TakeWpqForCrashReturnsFifoOrderAndClears)
+{
+    Ctx ctx;
+    ctx.cfg.channels = 1;
+    MemCtrl mc = ctx.make();
+    ASSERT_TRUE(mc.enqueueWrite(2 * kBlockSize, pattern(3)));
+    ASSERT_TRUE(mc.enqueueWrite(0, pattern(1)));
+    ASSERT_TRUE(mc.enqueueWrite(kBlockSize, pattern(2)));
+
+    auto records = mc.takeWpqForCrash();
+    ASSERT_EQ(records.size(), 3u);
+    // Oldest-first (insertion order), not address order.
+    EXPECT_EQ(records[0].first, 2 * kBlockSize);
+    EXPECT_EQ(records[1].first, 0u);
+    EXPECT_EQ(records[2].first, kBlockSize);
+    EXPECT_EQ(mc.wpqOccupancy(), 0u);
+
+    // Nothing reached media yet; the crash engine owns the commits.
+    EXPECT_EQ(ctx.store.read64(0), 0u);
+    std::uint64_t writes_before = mc.mediaWrites();
+    mc.creditCrashCommit();
+    EXPECT_EQ(mc.mediaWrites(), writes_before + 1);
 }
