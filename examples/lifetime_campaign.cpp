@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Example: the crash–recover–resume lifetime campaign and its
+ * repro-replay face.
+ *
+ * Campaign mode (default) sweeps seeded lifetimes — K rounds of
+ * run → crash → recover → resume over one persistent image — across
+ * workloads x persistency modes x fault plans on the parallel
+ * experiment pool. Every round is judged by the durable-linearizability
+ * oracle (see src/recover/lifetime.hh); the tally plus a one-line repro
+ * for any violation is printed.
+ *
+ * Replay mode re-runs exactly one lifetime from a repro line printed by
+ * a campaign (crash ticks re-derive from the seed):
+ *
+ *   lifetime_campaign --workload hashmap --mode bbb-mem-side \
+ *                     --seed 123456 --rounds 3 --fault-plan flaky-media
+ *
+ * Usage:
+ *   lifetime_campaign [--workloads NAME[,NAME...]] [--modes M[,M...]]
+ *                     [--plans P[,P...]] [--rounds K] [--lifetimes N]
+ *                     [--ops N] [--initial N] [--campaign-seed N]
+ *                     [--jobs N] [--verbose]
+ *   lifetime_campaign --workload NAME --mode M --seed S --rounds K
+ *                     --fault-plan P
+ *
+ * Exit status: 0 when no lifetime violates the oracle, 1 otherwise.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "recover/lifetime.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--workloads NAME[,NAME...]] [--modes M[,M...]]\n"
+        "          [--plans P[,P...]] [--rounds K] [--lifetimes N]\n"
+        "          [--ops N] [--initial N] [--campaign-seed N] [--jobs N]\n"
+        "          [--verbose]\n"
+        "   or: %s --workload NAME --mode M --seed S --rounds K "
+        "--fault-plan P\n",
+        argv0, argv0);
+    std::exit(2);
+}
+
+/** The campaign machine: small enough that crash points land mid-run. */
+SystemConfig
+campaignCfg()
+{
+    SystemConfig cfg;
+    cfg.num_cores = 2;
+    cfg.l1d.size_bytes = 4_KiB;
+    cfg.llc.size_bytes = 16_KiB;
+    cfg.dram.size_bytes = 64_MiB;
+    cfg.nvmm.size_bytes = 64_MiB;
+    cfg.bbpb.entries = 8;
+    cfg.l1d.repl = ReplPolicy::Random;
+    cfg.llc.repl = ReplPolicy::Random;
+    return cfg;
+}
+
+std::vector<std::string>
+splitNames(const std::string &arg)
+{
+    std::vector<std::string> names;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        std::size_t comma = arg.find(',', start);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        if (comma > start)
+            names.push_back(arg.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return names;
+}
+
+/**
+ * Resolve --plans tokens: comma-separated preset names (multi-pair
+ * key=value plans contain commas themselves — replay those one at a
+ * time through --fault-plan).
+ */
+std::vector<NamedFaultPlan>
+parsePlans(const std::string &arg)
+{
+    std::vector<NamedFaultPlan> plans;
+    for (const std::string &name : splitNames(arg))
+        plans.push_back({name, FaultPlan::parse(name)});
+    return plans;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LifetimeSpec spec;
+    spec.base = campaignCfg();
+    spec.workloads = {"hashmap", "skiplist", "linkedlist"};
+    spec.params.ops_per_thread = 400;
+    spec.params.initial_elements = 100;
+    spec.params.array_elements = 1 << 12;
+    spec.rounds = 3;
+    spec.lifetimes = 1;
+    spec.min_crash_tick = nsToTicks(2000);
+    spec.max_crash_tick = nsToTicks(120000);
+    spec.campaign_seed = 1;
+
+    unsigned jobs = 0;
+    bool verbose = false;
+
+    // Replay flags (presence of --seed selects replay mode).
+    std::string replay_workload;
+    std::string replay_mode = "bbb-mem-side";
+    std::uint64_t replay_seed = 0;
+    bool replay = false;
+    std::string replay_plan = "none";
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(argv[0]);
+            return argv[i];
+        };
+        if (arg == "--workloads") {
+            spec.workloads = splitNames(next());
+        } else if (arg == "--modes") {
+            spec.modes.clear();
+            for (const std::string &m : splitNames(next()))
+                spec.modes.push_back(persistModeFromName(m));
+        } else if (arg == "--plans") {
+            spec.plans = parsePlans(next());
+        } else if (arg == "--rounds") {
+            spec.rounds = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--lifetimes") {
+            spec.lifetimes = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--ops") {
+            spec.params.ops_per_thread =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--initial") {
+            spec.params.initial_elements =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--campaign-seed") {
+            spec.campaign_seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--workload") {
+            replay_workload = next();
+        } else if (arg == "--mode") {
+            replay_mode = next();
+        } else if (arg == "--seed") {
+            replay_seed = std::strtoull(next().c_str(), nullptr, 10);
+            replay = true;
+        } else if (arg == "--fault-plan") {
+            replay_plan = next();
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (replay) {
+        if (replay_workload.empty())
+            usage(argv[0]);
+        LifetimeSample sample;
+        sample.cfg = spec.base;
+        sample.cfg.mode = persistModeFromName(replay_mode);
+        sample.workload = replay_workload;
+        sample.params = spec.params;
+        sample.plan = FaultPlan::parse(replay_plan);
+        sample.plan_name = replay_plan;
+        sample.seed = replay_seed;
+        sample.rounds = spec.rounds;
+        sample.min_crash_tick = spec.min_crash_tick;
+        sample.max_crash_tick = spec.max_crash_tick;
+
+        LifetimeResult r = runLifetimeSample(sample);
+        std::printf("replay   %s\n", r.reproLine().c_str());
+        std::printf("outcome  %s\n", lifetimeOutcomeName(r.outcome));
+        for (std::size_t i = 0; i < r.round_log.size(); ++i) {
+            const LifetimeRound &rr = r.round_log[i];
+            std::printf("round %zu  crash %9.1f us  %-18s damaged %3llu  "
+                        "repairs %3llu  dropped %4llu  healed %llu/%llu "
+                        "torn %llu dangling %llu oob %llu  image %016llx%s%s\n",
+                        i, ticksToNs(rr.crash_tick) / 1000.0,
+                        recoveryStatusName(rr.recovery),
+                        (unsigned long long)rr.damaged_blocks,
+                        (unsigned long long)rr.repairs,
+                        (unsigned long long)rr.dropped,
+                        (unsigned long long)rr.healed.intact,
+                        (unsigned long long)rr.healed.checked,
+                        (unsigned long long)rr.healed.torn,
+                        (unsigned long long)rr.healed.dangling,
+                        (unsigned long long)rr.healed.oob,
+                        (unsigned long long)rr.image_fingerprint,
+                        rr.oracle_ok ? "" : "  ORACLE: ",
+                        rr.detail.c_str());
+        }
+        return r.outcome == LifetimeOutcome::OracleViolation ? 1 : 0;
+    }
+
+    LifetimeSummary summary = runLifetimeCampaign(spec, jobs);
+
+    if (verbose) {
+        for (const LifetimeResult &r : summary.results) {
+            std::printf("%-12s %-14s %-16s %-18s %s\n", r.workload.c_str(),
+                        persistModeName(r.mode), r.plan_name.c_str(),
+                        lifetimeOutcomeName(r.outcome),
+                        r.reproLine().c_str());
+        }
+    }
+
+    std::printf("lifetime campaign %zu lifetimes (%u rounds each): "
+                "%llu clean, %llu degraded-repaired, %llu "
+                "oracle-violations\n",
+                summary.results.size(), spec.rounds,
+                (unsigned long long)summary.clean,
+                (unsigned long long)summary.degraded,
+                (unsigned long long)summary.violations);
+    if (const LifetimeResult *bug = summary.firstViolation()) {
+        std::printf("VIOLATION repro: %s %s\n", argv[0],
+                    bug->reproLine().c_str());
+        if (const LifetimeRound *rr = bug->firstViolation())
+            std::printf("VIOLATION round %zu: %s\n",
+                        static_cast<std::size_t>(rr - bug->round_log.data()),
+                        rr->detail.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -1,12 +1,17 @@
 #include "api/experiment.hh"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "api/system.hh"
+#include "sim/logging.hh"
 
 namespace bbb
 {
@@ -110,17 +115,141 @@ resolveJobs(unsigned jobs)
     return hw ? hw : 1;
 }
 
+namespace
+{
+
+/** BBB_JOB_TIMEOUT_S in seconds; 0 (or unset) disables the watchdog. */
+long
+jobTimeoutSeconds()
+{
+    const char *env = std::getenv("BBB_JOB_TIMEOUT_S");
+    if (!env || !*env)
+        return 0;
+    char *end = nullptr;
+    long s = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || s < 0)
+        fatal("BBB_JOB_TIMEOUT_S ('%s') is not a whole number of seconds",
+              env);
+    return s;
+}
+
+std::int64_t
+steadySeconds()
+{
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** What one worker is running right now, for the watchdog to inspect. */
+struct alignas(64) WorkerLane
+{
+    static constexpr std::size_t kIdle = ~std::size_t{0};
+
+    /** Claimed job index, kIdle between jobs. Written job-last. */
+    std::atomic<std::size_t> job{kIdle};
+    /** steadySeconds() at which the current job started. */
+    std::atomic<std::int64_t> since{0};
+
+    void
+    begin(std::size_t i)
+    {
+        since.store(steadySeconds(), std::memory_order_relaxed);
+        job.store(i, std::memory_order_release);
+    }
+
+    void end() { job.store(kIdle, std::memory_order_release); }
+};
+
+/**
+ * Wall-clock watchdog over a set of worker lanes: while alive, any lane
+ * whose job exceeds the timeout fail()s the process with the job's
+ * repro line. A hung simulation cannot make progress or be recovered
+ * in-process, so dying loudly with the replay command is strictly
+ * better than wedging the campaign.
+ */
+class JobWatchdog
+{
+  public:
+    JobWatchdog(std::vector<WorkerLane> &lanes, long timeout_s,
+                const std::function<std::string(std::size_t)> &describe)
+        : _lanes(lanes), _timeout_s(timeout_s), _describe(describe),
+          _thread([this] { watch(); })
+    {
+    }
+
+    ~JobWatchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _stop = true;
+        }
+        _cv.notify_all();
+        _thread.join();
+    }
+
+  private:
+    void
+    watch()
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        while (!_stop) {
+            _cv.wait_for(lock, std::chrono::milliseconds(200));
+            if (_stop)
+                return;
+            std::int64_t now = steadySeconds();
+            for (WorkerLane &lane : _lanes) {
+                std::size_t i = lane.job.load(std::memory_order_acquire);
+                if (i == WorkerLane::kIdle)
+                    continue;
+                std::int64_t ran =
+                    now - lane.since.load(std::memory_order_relaxed);
+                if (ran <= _timeout_s)
+                    continue;
+                std::string repro = _describe
+                                        ? _describe(i)
+                                        : "job index " + std::to_string(i);
+                fatal("watchdog: job %zu still running after %lld s "
+                      "(BBB_JOB_TIMEOUT_S=%ld); repro: %s",
+                      i, static_cast<long long>(ran), _timeout_s,
+                      repro.c_str());
+            }
+        }
+    }
+
+    std::vector<WorkerLane> &_lanes;
+    long _timeout_s;
+    const std::function<std::string(std::size_t)> &_describe;
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    bool _stop = false;
+    std::thread _thread;
+};
+
+} // namespace
+
 void
 runIndexedJobs(std::size_t count,
-               const std::function<void(std::size_t)> &fn, unsigned jobs)
+               const std::function<void(std::size_t)> &fn, unsigned jobs,
+               const std::function<std::string(std::size_t)> &describe)
 {
     jobs = resolveJobs(jobs);
     if (jobs > count)
         jobs = static_cast<unsigned>(count);
 
+    long timeout_s = jobTimeoutSeconds();
+
     if (jobs <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
+        // Serial path: same watchdog contract, one lane.
+        std::vector<WorkerLane> lanes(1);
+        std::unique_ptr<JobWatchdog> dog;
+        if (timeout_s > 0)
+            dog = std::make_unique<JobWatchdog>(lanes, timeout_s, describe);
+        for (std::size_t i = 0; i < count; ++i) {
+            lanes[0].begin(i);
             fn(i);
+            lanes[0].end();
+        }
         return;
     }
 
@@ -131,29 +260,38 @@ runIndexedJobs(std::size_t count,
     std::atomic<std::size_t> next{0};
     std::mutex failure_mutex;
     std::exception_ptr failure;
+    std::vector<WorkerLane> lanes(jobs);
 
-    auto worker = [&]() {
+    auto worker = [&](WorkerLane &lane) {
         for (;;) {
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= count)
                 return;
+            lane.begin(i);
             try {
                 fn(i);
             } catch (...) {
+                lane.end();
                 std::lock_guard<std::mutex> lock(failure_mutex);
                 if (!failure)
                     failure = std::current_exception();
                 return;
             }
+            lane.end();
         }
     };
+
+    std::unique_ptr<JobWatchdog> dog;
+    if (timeout_s > 0)
+        dog = std::make_unique<JobWatchdog>(lanes, timeout_s, describe);
 
     std::vector<std::thread> pool;
     pool.reserve(jobs);
     for (unsigned t = 0; t < jobs; ++t)
-        pool.emplace_back(worker);
+        pool.emplace_back(worker, std::ref(lanes[t]));
     for (std::thread &t : pool)
         t.join();
+    dog.reset();
     if (failure)
         std::rethrow_exception(failure);
 }

@@ -95,10 +95,20 @@ unsigned resolveJobs(unsigned jobs);
  * bit-identical at any @p jobs width. @p jobs == 1 degenerates to a
  * plain serial loop on the calling thread; the first exception thrown by
  * any job is rethrown after the pool drains.
+ *
+ * A wall-clock watchdog guards every job (serial path included): when
+ * the BBB_JOB_TIMEOUT_S environment variable is set to a positive
+ * number of seconds, any single job still running past that budget
+ * fail()s the whole run, printing @p describe(i) — campaigns pass the
+ * job's one-line repro here — so a hung campaign dies with the exact
+ * command to replay the offender instead of wedging CI. Unset or 0
+ * disables the watchdog.
  */
 void runIndexedJobs(std::size_t count,
                     const std::function<void(std::size_t)> &fn,
-                    unsigned jobs = 0);
+                    unsigned jobs = 0,
+                    const std::function<std::string(std::size_t)> &describe =
+                        {});
 
 /**
  * Run a grid of independent experiment points on a worker thread pool.

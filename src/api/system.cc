@@ -76,6 +76,18 @@ System::onThread(CoreId c, Core::ThreadBody body)
     _cores.at(c)->bindThread(std::move(body));
 }
 
+void
+System::seedImage(const BackingStore &src)
+{
+    BBB_ASSERT(!_crashed, "seeding the image after the crash");
+    BBB_ASSERT(_eq.now() == 0, "seeding the image mid-run");
+    _store = src.clone();
+    // Re-stamp the heap magic: a seeded image normally carries it already
+    // (it came from another System), but an explicitly empty seed must
+    // still present a valid heap header.
+    _store.write64(_heap->magicAddr(), PersistentHeap::kMagic);
+}
+
 bool
 System::allThreadsFinished() const
 {

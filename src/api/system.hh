@@ -91,6 +91,16 @@ class System
     /** Bind a software thread to core @p c (one thread per core). */
     void onThread(CoreId c, Core::ThreadBody body);
 
+    // --- crash-recover-resume ------------------------------------------
+    /**
+     * Replace this (not-yet-run) machine's media image with @p src: the
+     * reboot of a crash-recover-resume lifetime. The caller typically
+     * passes a recovered post-crash image from a previous System, then
+     * restores the heap frontiers (PersistentHeap::setFrontier) before
+     * rebinding threads and running.
+     */
+    void seedImage(const BackingStore &src);
+
     // --- execution -------------------------------------------------------
     /**
      * Run every bound thread to completion (plus trailing buffer drains).

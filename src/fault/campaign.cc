@@ -157,7 +157,15 @@ runCrashCampaign(const CampaignSpec &spec, unsigned jobs)
         [&](std::size_t i) {
             summary.results[i] = runCrashSample(samples[i]);
         },
-        jobs);
+        jobs,
+        [&](std::size_t i) {
+            const CrashSample &s = samples[i];
+            std::ostringstream os;
+            os << "--workload " << s.workload << " --seed "
+               << s.params.seed << " --crash-tick " << s.crash_tick
+               << " --fault-plan " << s.plan.toString();
+            return os.str();
+        });
 
     for (const CrashSampleResult &r : summary.results) {
         switch (r.outcome) {

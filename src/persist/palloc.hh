@@ -101,6 +101,37 @@ class PersistentHeap
         return _frontiers.at(arena) - arenaBase(arena);
     }
 
+    /** Current bump frontier of an arena. */
+    Addr frontier(unsigned arena) const { return _frontiers.at(arena); }
+
+    /**
+     * Restore an arena's bump frontier (crash-recover-resume). Recovery
+     * walks the surviving structures and reports the highest live byte
+     * per arena; seeding the frontiers there keeps a resumed run from
+     * allocating over data the previous lives still reference.
+     */
+    void
+    setFrontier(unsigned arena, Addr frontier)
+    {
+        BBB_ASSERT(arena < _arenas, "arena %u out of range", arena);
+        BBB_ASSERT(frontier >= arenaBase(arena) &&
+                       frontier <= arenaBase(arena) + _arena_size,
+                   "frontier %#llx outside arena %u",
+                   (unsigned long long)frontier, arena);
+        _frontiers[arena] = frontier;
+    }
+
+    /** Arena containing persistent address @p a (fatal if none). */
+    unsigned
+    arenaOf(Addr a) const
+    {
+        Addr base = _map.persistBase() + kHeaderBytes;
+        BBB_ASSERT(a >= base && a < base + _arenas * _arena_size,
+                   "address %#llx not in any arena",
+                   (unsigned long long)a);
+        return static_cast<unsigned>((a - base) / _arena_size);
+    }
+
   private:
     const AddrMap &_map;
     unsigned _arenas;

@@ -4,15 +4,21 @@
  *
  * After the crash engine applies the flush-on-fail drains, the backing
  * store holds exactly the bytes that survived the failure. Recovery code
- * (workload consistency checkers, example programs) reads the image
- * through this wrapper, which has no timing model: recovery runs on the
- * machine after reboot.
+ * (workload consistency checkers, the RecoveryManager, example programs)
+ * reads the image through this wrapper, which has no timing model:
+ * recovery runs on the machine after reboot.
+ *
+ * Every read is bounds-checked against the address map. A wild pointer in
+ * a damaged structure must surface as a classified recovery error, never
+ * as undefined behavior: out-of-range reads return zeroed bytes and bump
+ * a counter that Workload::verifyImage() folds into RecoveryResult::oob.
  */
 
 #ifndef BBB_PERSIST_RECOVERY_HH
 #define BBB_PERSIST_RECOVERY_HH
 
 #include <cstdint>
+#include <cstring>
 
 #include "mem/addr_map.hh"
 #include "mem/backing_store.hh"
@@ -30,19 +36,34 @@ class PmemImage
     {
     }
 
-    std::uint64_t read64(Addr a) const { return _store.read64(a); }
+    std::uint64_t
+    read64(Addr a) const
+    {
+        std::uint64_t v = 0;
+        read(a, &v, sizeof(v));
+        return v;
+    }
 
     std::uint32_t
     read32(Addr a) const
     {
         std::uint32_t v = 0;
-        _store.read(a, &v, sizeof(v));
+        read(a, &v, sizeof(v));
         return v;
     }
 
     void
     read(Addr a, void *out, std::size_t size) const
     {
+        // The map's end is the exclusive bound; reject reads that start
+        // outside it or wrap/run past it. Returning zeros keeps walkers
+        // alive (zero is "null pointer / unbacked") while the counter
+        // records that the structure pointed outside the machine.
+        if (!_map.valid(a) || size > _map.end() - a) {
+            std::memset(out, 0, size);
+            ++_oob_reads;
+            return;
+        }
         _store.read(a, out, size);
     }
 
@@ -55,9 +76,14 @@ class PmemImage
         return _map.valid(a) && _map.isPersistent(a);
     }
 
+    /** Out-of-range reads absorbed so far (see Workload::verifyImage). */
+    std::uint64_t oobReads() const { return _oob_reads; }
+
   private:
     const BackingStore &_store;
     const AddrMap &_map;
+    /** Mutable: checkers take the image const; OOB is a side channel. */
+    mutable std::uint64_t _oob_reads = 0;
 };
 
 /** Outcome of a workload's recovery consistency check. */
@@ -71,11 +97,13 @@ struct RecoveryResult
     std::uint64_t torn = 0;
     /** Dangling pointers (outside the persistent range / wild). */
     std::uint64_t dangling = 0;
+    /** Reads the image rejected as out of the machine's address range. */
+    std::uint64_t oob = 0;
 
     bool
     consistent() const
     {
-        return torn == 0 && dangling == 0;
+        return torn == 0 && dangling == 0 && oob == 0;
     }
 };
 

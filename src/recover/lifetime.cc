@@ -1,0 +1,364 @@
+#include "recover/lifetime.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "api/experiment.hh"
+#include "api/system.hh"
+#include "fault/fault_injector.hh"
+#include "sim/rng.hh"
+
+namespace bbb
+{
+
+const char *
+lifetimeOutcomeName(LifetimeOutcome o)
+{
+    switch (o) {
+      case LifetimeOutcome::Clean:
+        return "clean";
+      case LifetimeOutcome::DegradedRepaired:
+        return "degraded-repaired";
+      case LifetimeOutcome::OracleViolation:
+        return "oracle-violation";
+    }
+    return "unknown";
+}
+
+const LifetimeRound *
+LifetimeResult::firstViolation() const
+{
+    for (const LifetimeRound &r : round_log) {
+        if (!r.oracle_ok)
+            return &r;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+std::string
+lifetimeReproLine(const std::string &workload, PersistMode mode,
+                  std::uint64_t seed, unsigned rounds,
+                  const FaultPlan &plan)
+{
+    std::ostringstream os;
+    os << "--workload " << workload << " --mode " << persistModeName(mode)
+       << " --seed " << seed << " --rounds " << rounds << " --fault-plan "
+       << plan.toString();
+    return os.str();
+}
+
+} // namespace
+
+std::string
+LifetimeSample::reproLine() const
+{
+    return lifetimeReproLine(workload, cfg.mode, seed, rounds, plan);
+}
+
+std::string
+LifetimeResult::reproLine() const
+{
+    return lifetimeReproLine(workload, mode, seed, rounds, plan);
+}
+
+const LifetimeResult *
+LifetimeSummary::firstViolation() const
+{
+    for (const LifetimeResult &r : results) {
+        if (r.outcome == LifetimeOutcome::OracleViolation)
+            return &r;
+    }
+    return nullptr;
+}
+
+std::vector<PersistMode>
+safePersistModes()
+{
+    return {PersistMode::AdrPmem, PersistMode::Eadr,
+            PersistMode::BbbMemSide, PersistMode::BbbProcSide};
+}
+
+std::vector<LifetimeSample>
+planLifetimeCampaign(const LifetimeSpec &spec)
+{
+    std::vector<PersistMode> modes =
+        spec.modes.empty() ? safePersistModes() : spec.modes;
+    std::vector<NamedFaultPlan> plans =
+        spec.plans.empty() ? faultPlanPresets() : spec.plans;
+    BBB_ASSERT(spec.min_crash_tick <= spec.max_crash_tick,
+               "empty crash-tick window");
+    BBB_ASSERT(spec.rounds >= 1, "a lifetime needs at least one round");
+
+    // One sampling stream, consumed in a fixed nesting order, makes the
+    // sample list a pure function of the spec.
+    Rng rng(spec.campaign_seed ^ 0x11f3713ull);
+    std::vector<LifetimeSample> samples;
+    samples.reserve(spec.workloads.size() * modes.size() * plans.size() *
+                    spec.lifetimes);
+    for (const std::string &wl : spec.workloads) {
+        for (PersistMode mode : modes) {
+            for (const NamedFaultPlan &np : plans) {
+                for (unsigned i = 0; i < spec.lifetimes; ++i) {
+                    LifetimeSample s;
+                    s.cfg = spec.base;
+                    s.cfg.mode = mode;
+                    s.workload = wl;
+                    s.params = spec.params;
+                    s.plan = np.plan;
+                    s.plan_name = np.name;
+                    s.seed = rng.next();
+                    s.rounds = spec.rounds;
+                    s.min_crash_tick = spec.min_crash_tick;
+                    s.max_crash_tick = spec.max_crash_tick;
+                    samples.push_back(std::move(s));
+                }
+            }
+        }
+    }
+    return samples;
+}
+
+namespace
+{
+
+/** Sorted keys of every bound thread; false if the workload has none. */
+bool
+collectSortedKeys(const Workload &wl, const PmemImage &img,
+                  std::vector<std::vector<std::uint64_t>> &out)
+{
+    out.assign(wl.boundEnd(), {});
+    for (unsigned t = wl.boundFirst(); t < wl.boundEnd(); ++t) {
+        if (!wl.collectKeys(img, t, out[t]))
+            return false;
+        std::sort(out[t].begin(), out[t].end());
+    }
+    return true;
+}
+
+/** a \ b for sorted multisets. */
+std::vector<std::uint64_t>
+sortedDifference(const std::vector<std::uint64_t> &a,
+                 const std::vector<std::uint64_t> &b)
+{
+    std::vector<std::uint64_t> d;
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(d));
+    return d;
+}
+
+/**
+ * The per-round durable-linearizability check on the ledger-healed
+ * image: survivors of previous rounds must all still be present, and
+ * the keys new this round must be exactly a program-order prefix of
+ * what each thread issued this round.
+ *
+ * @return empty string on success, else the failed check.
+ */
+std::string
+checkKeyOracle(const Workload &wl, const PmemImage &healed,
+               const std::vector<std::vector<std::uint64_t>> &expected)
+{
+    std::vector<std::vector<std::uint64_t>> now;
+    if (!collectSortedKeys(wl, healed, now))
+        return "key collection failed on the healed image";
+
+    std::ostringstream why;
+    for (unsigned t = wl.boundFirst(); t < wl.boundEnd(); ++t) {
+        std::vector<std::uint64_t> lost = sortedDifference(expected[t], now[t]);
+        if (!lost.empty()) {
+            why << "thread " << t << " lost " << lost.size()
+                << " previously recovered key(s)";
+            return why.str();
+        }
+        std::vector<std::uint64_t> fresh = sortedDifference(now[t], expected[t]);
+        const std::vector<std::uint64_t> &issued = wl.issuedKeys(t);
+        if (fresh.size() > issued.size()) {
+            why << "thread " << t << " persisted " << fresh.size()
+                << " new key(s) but issued only " << issued.size();
+            return why.str();
+        }
+        // Persist order == program order (Px86 under a battery): the
+        // persisted new keys must be the first |fresh| issued ones.
+        std::vector<std::uint64_t> prefix(issued.begin(),
+                                          issued.begin() + fresh.size());
+        std::sort(prefix.begin(), prefix.end());
+        if (prefix != fresh) {
+            why << "thread " << t
+                << " persisted keys that are not a program-order prefix "
+                   "of the issued stream";
+            return why.str();
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+LifetimeResult
+runLifetimeSample(const LifetimeSample &sample)
+{
+    auto wl = makeWorkload(sample.workload, sample.params);
+
+    LifetimeResult r;
+    r.workload = sample.workload;
+    r.plan_name = sample.plan_name;
+    r.mode = sample.cfg.mode;
+    r.seed = sample.seed;
+    r.rounds = sample.rounds;
+    r.plan = sample.plan;
+
+    // One schedule stream per lifetime: crash ticks and per-round seeds
+    // re-derive from sample.seed alone, which is what makes the repro
+    // line sufficient.
+    Rng sched(sample.seed ^ 0x5c4ed11ull);
+    BackingStore carried;
+    std::vector<Addr> frontiers;
+    std::vector<std::vector<std::uint64_t>> expected;
+    bool keyed = false;
+    bool degraded = false;
+
+    for (unsigned round = 0; round < sample.rounds; ++round) {
+        LifetimeRound rr;
+        rr.crash_tick =
+            sched.range(sample.min_crash_tick, sample.max_crash_tick);
+        std::uint64_t sys_seed = sched.next();
+        std::uint64_t fault_seed = sched.next();
+
+        SystemConfig cfg = sample.cfg;
+        cfg.seed = sys_seed;
+        System sys(cfg);
+        FaultPlan plan = sample.plan;
+        plan.fault_seed = fault_seed;
+        sys.setFaultPlan(plan);
+
+        if (round == 0) {
+            wl->install(sys);
+            // The durability baseline: everything prepare() persisted.
+            // The key-level oracle is only sound for plans that cannot
+            // tear media: a torn block is read back by the running
+            // program (the cache refetches the stale half), so a stale
+            // pointer can fork a live structure and orphan mid-stream
+            // keys — ledgered damage propagating architecturally, which
+            // only the block-level structural oracle classifies fairly.
+            keyed = collectSortedKeys(*wl, sys.pmemImage(), expected) &&
+                    !sample.plan.injectsMediaFaults();
+        } else {
+            reseedSystem(sys, carried, frontiers);
+            wl->resume(sys);
+        }
+
+        rr.report = sys.runAndCrashAt(rr.crash_tick);
+
+        // Oracle 1: the ledger-healed image must be consistent and, for
+        // keyed workloads, durably linearizable against the baseline.
+        BackingStore healed = sys.image().clone();
+        const FaultInjector *inj = sys.faultInjector();
+        if (inj && !inj->damagedBlocks().empty()) {
+            rr.damaged_blocks = inj->damagedBlocks().size();
+            inj->repairImage(healed);
+        }
+        PmemImage healed_img(healed, sys.addrMap());
+        rr.healed = wl->verifyImage(healed_img);
+        // Torn media blocks are read back by the running program, so
+        // their stale halves propagate into cleanly-written blocks —
+        // damage the final ledger cannot describe. Plans that can tear
+        // media therefore only claim the drain prefix and graceful
+        // recovery below; the healed-image checks need an intact
+        // read-path.
+        bool media = sample.plan.injectsMediaFaults();
+        if (!rr.report.drain_prefix_ok) {
+            rr.oracle_ok = false;
+            rr.detail = "crash drain broke its oldest-first prefix";
+        } else if (!media && !rr.healed.consistent()) {
+            rr.oracle_ok = false;
+            rr.detail = "healed image fails the consistency walk";
+        } else if (keyed) {
+            std::string why = checkKeyOracle(*wl, healed_img, expected);
+            if (!why.empty()) {
+                rr.oracle_ok = false;
+                rr.detail = why;
+            }
+        }
+
+        // Oracle 2: recover the *raw* image. Never aborts; ledgered
+        // damage must come back degraded-repaired, and an undamaged
+        // image must not need repairs.
+        BackingStore raw = sys.image().clone();
+        RecoveryManager mgr(raw, sys.addrMap(), cfg.num_cores);
+        RecoverOutcome rec = mgr.recover(*wl);
+        rr.recovery = rec.status;
+        rr.repairs = rec.repairs;
+        rr.dropped = rec.dropped;
+        if (!rec.resumable()) {
+            rr.oracle_ok = false;
+            rr.detail = "unrecoverable image: " + rec.detail;
+        } else if (rr.oracle_ok && rec.repairs > 0 &&
+                   rr.damaged_blocks == 0) {
+            rr.oracle_ok = false;
+            rr.detail = "recovery repaired an image the fault ledger "
+                        "says was undamaged";
+        }
+        if (rr.damaged_blocks > 0 && rr.recovery == RecoveryStatus::Clean)
+            rr.recovery = RecoveryStatus::DegradedRepaired;
+        if (rr.recovery == RecoveryStatus::DegradedRepaired)
+            degraded = true;
+
+        rr.image_fingerprint = raw.fingerprint();
+        r.image_fingerprint = rr.image_fingerprint;
+        bool ok = rr.oracle_ok;
+        r.round_log.push_back(std::move(rr));
+        if (!ok) {
+            r.outcome = LifetimeOutcome::OracleViolation;
+            return r;
+        }
+
+        // Rebaseline durability on what recovery actually kept: a
+        // degraded round shrinks the guarantee, it does not void it.
+        if (keyed)
+            collectSortedKeys(*wl, PmemImage(raw, sys.addrMap()), expected);
+        carried = std::move(raw);
+        frontiers = rec.frontiers;
+    }
+
+    r.outcome = degraded ? LifetimeOutcome::DegradedRepaired
+                         : LifetimeOutcome::Clean;
+    return r;
+}
+
+LifetimeSummary
+runLifetimeCampaign(const LifetimeSpec &spec, unsigned jobs)
+{
+    std::vector<LifetimeSample> samples = planLifetimeCampaign(spec);
+
+    LifetimeSummary summary;
+    summary.results.resize(samples.size());
+    // Same pool as runExperiments: each lifetime owns its Systems and
+    // writes only its own slot, so any jobs width gives the same bits.
+    runIndexedJobs(
+        samples.size(),
+        [&](std::size_t i) {
+            summary.results[i] = runLifetimeSample(samples[i]);
+        },
+        jobs, [&](std::size_t i) { return samples[i].reproLine(); });
+
+    for (const LifetimeResult &r : summary.results) {
+        switch (r.outcome) {
+          case LifetimeOutcome::Clean:
+            ++summary.clean;
+            break;
+          case LifetimeOutcome::DegradedRepaired:
+            ++summary.degraded;
+            break;
+          case LifetimeOutcome::OracleViolation:
+            ++summary.violations;
+            break;
+        }
+    }
+    return summary;
+}
+
+} // namespace bbb

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Crash–recover–resume lifetimes: multi-crash campaigns with a durable-
+ * linearizability oracle.
+ *
+ * A *lifetime* is K rounds of run → crash → recover → resume over one
+ * persistent image. Round 0 installs the workload on a fresh machine;
+ * every later round reboots a fresh System seeded with the image the
+ * previous round's RecoveryManager repaired, restores the heap
+ * frontiers, and resumes execution until the next seeded crash.
+ *
+ * After every crash the round is judged twice:
+ *
+ *   1. **Healed-image oracle** — clone the post-crash image, write back
+ *      the fault ledger (restoring exactly the blocks the injected
+ *      faults damaged), and demand (a) the crash drain kept its oldest-
+ *      first prefix, (b) the workload's consistency walk passes, and
+ *      (c) for key-logging workloads, durable linearizability:
+ *        - every key recovered after a previous round is still present
+ *          (an acknowledged-and-survived key can never be lost later);
+ *        - the keys new this round are exactly a program-order prefix
+ *          of what each thread issued (Px86 persist order == program
+ *          order: no phantom keys, no gaps in the persisted prefix).
+ *      Checks (b) and (c) apply only to plans that cannot tear media:
+ *      a torn block is read back by the running program, so a stale
+ *      pointer can fork a live structure, orphan mid-stream keys, and
+ *      propagate damage into cleanly-written blocks the final ledger
+ *      cannot describe. Media-tearing plans therefore claim only the
+ *      drain prefix (a) and graceful recovery below — the healed-image
+ *      walks need an intact read-path to be a sound oracle.
+ *   2. **Recovery** — run the workload's recover() on the *raw* (still
+ *      damaged) image. It must never abort: outcomes are clean,
+ *      degraded-repaired (damage unlinked, survivors kept), or a
+ *      structured unrecoverable result. Repairing an image the fault
+ *      ledger says was undamaged is itself an oracle violation — the
+ *      fault-free machine must not need repairs.
+ *
+ * The survivor set is rebaselined from the recovered image after every
+ * round, so deliberately degraded rounds shrink the guarantee instead
+ * of failing it — graceful degradation, never a crash loop.
+ *
+ * AdrUnsafe is excluded from the default mode sweep: without flushes
+ * the writeback order is arbitrary, so no prefix property holds (that
+ * contrast is the paper's point; see examples/crash_recovery.cc).
+ *
+ * Campaigns run on the runIndexedJobs pool; each sample owns its
+ * Systems and RNG streams, so summaries are bit-identical at any jobs
+ * width, and every sample replays from a one-line repro.
+ */
+
+#ifndef BBB_RECOVER_LIFETIME_HH
+#define BBB_RECOVER_LIFETIME_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/crash_engine.hh"
+#include "fault/fault_plan.hh"
+#include "persist/recovery.hh"
+#include "recover/recovery_manager.hh"
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+namespace bbb
+{
+
+/** Taxonomy for one whole lifetime (K rounds). */
+enum class LifetimeOutcome
+{
+    /** Every round recovered clean and every oracle check passed. */
+    Clean,
+    /**
+     * At least one round recovered by discarding ledgered damage, and
+     * the shrunken survivor set stayed durable ever after.
+     */
+    DegradedRepaired,
+    /**
+     * A durability guarantee broke: a surviving key vanished, the
+     * persisted keys were not a program-order prefix, the drain broke
+     * its oldest-first prefix, recovery aborted, or an undamaged image
+     * needed repairs.
+     */
+    OracleViolation,
+};
+
+/** Printable outcome name. */
+const char *lifetimeOutcomeName(LifetimeOutcome o);
+
+/** One fully-specified lifetime (a runnable K-round sample). */
+struct LifetimeSample
+{
+    SystemConfig cfg;
+    std::string workload;
+    WorkloadParams params;
+    FaultPlan plan;
+    /** Name of the plan family this sample came from (display only). */
+    std::string plan_name;
+    /** Seed of the per-round schedule stream (crash ticks, sub-seeds). */
+    std::uint64_t seed = 1;
+    /** Crash–recover–resume rounds in this lifetime. */
+    unsigned rounds = 3;
+    /** Per-round crash tick sampling window. */
+    Tick min_crash_tick = nsToTicks(2000);
+    Tick max_crash_tick = nsToTicks(400000);
+
+    /** Same replay line as LifetimeResult::reproLine (watchdog path). */
+    std::string reproLine() const;
+};
+
+/** Everything one round of a lifetime produced. */
+struct LifetimeRound
+{
+    Tick crash_tick = 0;
+    CrashReport report;
+    /** Blocks the fault ledger says this round damaged. */
+    std::uint64_t damaged_blocks = 0;
+    /** Consistency walk over the ledger-healed image. */
+    RecoveryResult healed;
+    /** Recovery of the raw image (ledgered damage => DegradedRepaired). */
+    RecoveryStatus recovery = RecoveryStatus::Clean;
+    std::uint64_t repairs = 0;
+    std::uint64_t dropped = 0;
+    /** Fingerprint of the recovered image carried into the next round. */
+    std::uint64_t image_fingerprint = 0;
+    /** All oracle checks passed for this round. */
+    bool oracle_ok = true;
+    /** First failed check, empty when oracle_ok. */
+    std::string detail;
+};
+
+/** Everything one lifetime produced. */
+struct LifetimeResult
+{
+    std::string workload;
+    std::string plan_name;
+    PersistMode mode{};
+    std::uint64_t seed = 0;
+    unsigned rounds = 0;
+    FaultPlan plan;
+
+    LifetimeOutcome outcome = LifetimeOutcome::Clean;
+    /** Per-round log; shorter than rounds iff a round violated. */
+    std::vector<LifetimeRound> round_log;
+    /** Fingerprint of the final recovered image. */
+    std::uint64_t image_fingerprint = 0;
+
+    /** First round that failed the oracle, or nullptr. */
+    const LifetimeRound *firstViolation() const;
+
+    /**
+     * Minimized single-line repro: feed these flags back through
+     * persistModeFromName / FaultPlan::parse / replayLifetimeSample to
+     * re-run this exact lifetime (crash ticks re-derive from the seed).
+     */
+    std::string reproLine() const;
+};
+
+/** A lifetime campaign: the sweep space plus the sampling seed. */
+struct LifetimeSpec
+{
+    /** Machine template; each round overrides its seeds. */
+    SystemConfig base;
+    /** Workloads to sweep. */
+    std::vector<std::string> workloads;
+    WorkloadParams params;
+    /** Modes to sweep; empty means every safe mode (no AdrUnsafe). */
+    std::vector<PersistMode> modes;
+    /** Fault-plan family; empty means faultPlanPresets(). */
+    std::vector<NamedFaultPlan> plans;
+    /** Rounds per lifetime (>= 3 for a full campaign). */
+    unsigned rounds = 3;
+    /** Seeded lifetimes drawn per (workload, mode, plan) cell. */
+    unsigned lifetimes = 2;
+    /** Per-round crash tick sampling window. */
+    Tick min_crash_tick = nsToTicks(2000);
+    Tick max_crash_tick = nsToTicks(400000);
+    /** Seed of the campaign's sampling stream. */
+    std::uint64_t campaign_seed = 1;
+};
+
+/** Campaign results plus the outcome tally. */
+struct LifetimeSummary
+{
+    std::vector<LifetimeResult> results;
+    std::uint64_t clean = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t violations = 0;
+
+    /** First oracle violation, or nullptr if the campaign is bug-free. */
+    const LifetimeResult *firstViolation() const;
+
+    /** Every lifetime landed in exactly one taxonomy bucket. */
+    bool
+    allClassified() const
+    {
+        return clean + degraded + violations == results.size();
+    }
+};
+
+/** The default mode sweep: every mode with a persist-order guarantee. */
+std::vector<PersistMode> safePersistModes();
+
+/**
+ * Expand a spec into its deterministic sample list: for every workload x
+ * mode x plan, `lifetimes` seeds drawn from one stream seeded by
+ * campaign_seed. Pure function of the spec.
+ */
+std::vector<LifetimeSample> planLifetimeCampaign(const LifetimeSpec &spec);
+
+/**
+ * Run one lifetime: K rounds of run → crash → judge → recover → resume.
+ * The repro replay path; a pure function of the sample.
+ */
+LifetimeResult runLifetimeSample(const LifetimeSample &sample);
+
+/**
+ * Run the whole campaign on the runIndexedJobs pool and tally the
+ * taxonomy. Bit-identical at any @p jobs width.
+ */
+LifetimeSummary runLifetimeCampaign(const LifetimeSpec &spec,
+                                    unsigned jobs = 0);
+
+} // namespace bbb
+
+#endif // BBB_RECOVER_LIFETIME_HH

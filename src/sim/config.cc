@@ -1,5 +1,7 @@
 #include "sim/config.hh"
 
+#include "sim/logging.hh"
+
 namespace bbb
 {
 
@@ -19,6 +21,18 @@ persistModeName(PersistMode m)
         return "bbb-proc-side";
     }
     return "unknown";
+}
+
+PersistMode
+persistModeFromName(const std::string &name)
+{
+    for (PersistMode m :
+         {PersistMode::AdrPmem, PersistMode::AdrUnsafe, PersistMode::Eadr,
+          PersistMode::BbbMemSide, PersistMode::BbbProcSide}) {
+        if (name == persistModeName(m))
+            return m;
+    }
+    fatal("unknown persistency mode '%s'", name.c_str());
 }
 
 const char *

@@ -64,6 +64,12 @@ enum class PersistMode
 /** Printable name of a persistency mode. */
 const char *persistModeName(PersistMode m);
 
+/**
+ * Parse a persistModeName() token back into its mode. fatal()s on an
+ * unknown name — this is the campaign-repro CLI path.
+ */
+PersistMode persistModeFromName(const std::string &name);
+
 /** Replacement policy selector (definition in cache/replacement.hh). */
 enum class ReplPolicy;
 

@@ -1,5 +1,7 @@
 #include "workloads/array_ops.hh"
 
+#include "recover/recovery_manager.hh"
+
 namespace bbb
 {
 
@@ -14,10 +16,6 @@ ArrayWorkload::name() const
 void
 ArrayWorkload::prepare(System &sys)
 {
-    _sys = &sys;
-    _first = firstThread();
-    _end = endThread(sys);
-
     _base = sys.heap().alloc(_first, _p.array_elements * 8, kBlockSize);
     ImageAccessor img(sys.image());
     img.st(sys.heap().rootAddr(_first), _base);
@@ -63,7 +61,7 @@ RecoveryResult
 ArrayWorkload::checkRecovery(const PmemImage &img) const
 {
     RecoveryResult res;
-    Addr base = img.read64(_sys->heap().rootAddr(_first));
+    Addr base = img.read64(imageRootAddr(img.addrMap(), _first));
     if (base == 0 || !img.validPersistent(base)) {
         ++res.dangling;
         return res;
@@ -76,6 +74,40 @@ ArrayWorkload::checkRecovery(const PmemImage &img) const
             ++res.torn;
     }
     return res;
+}
+
+void
+ArrayWorkload::recover(RecoveryCtx &ctx)
+{
+    PmemImage img = ctx.image();
+    Addr root = ctx.rootAddr(_first);
+    std::uint64_t n = _p.array_elements;
+    Addr base = img.read64(root);
+    if (base == 0 || !img.validPersistent(base) ||
+        !img.validPersistent(base + n * 8 - 1)) {
+        // The base pointer is gone: rebuild the identity array. It was
+        // the first allocation in its arena, so this lands at the same
+        // address prepare() used.
+        Addr fresh = ctx.alloc(_first, n * 8, kBlockSize);
+        for (std::uint64_t i = 0; i < n; ++i)
+            ctx.write64(fresh + i * 8,
+                        encode(static_cast<std::uint32_t>(i)));
+        ctx.repair64(root, fresh);
+        ctx.noteDropped(n);
+        return;
+    }
+    ctx.noteObject(base, n * 8);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t word = img.read64(base + i * 8);
+        if (!validate(word)) {
+            // Re-seal the element around whatever payload half survived:
+            // a stale-but-valid element, matching the workload's
+            // old-or-new atomicity contract.
+            ctx.repair64(base + i * 8,
+                         encode(static_cast<std::uint32_t>(word >> 32)));
+            ctx.noteDropped();
+        }
+    }
 }
 
 } // namespace bbb

@@ -42,6 +42,7 @@ class ArrayWorkload : public Workload
     void prepare(System &sys) override;
     void runThread(ThreadContext &tc, unsigned tid) override;
     RecoveryResult checkRecovery(const PmemImage &img) const override;
+    void recover(RecoveryCtx &ctx) override;
 
     /** Pack a payload into a self-validating element. */
     static std::uint64_t
@@ -65,9 +66,6 @@ class ArrayWorkload : public Workload
     Op _op;
     bool _conflicting;
     Addr _base = 0;
-    System *_sys = nullptr;
-    unsigned _first = 0;
-    unsigned _end = 0;
 };
 
 } // namespace bbb

@@ -1,5 +1,7 @@
 #include "workloads/btree.hh"
 
+#include "recover/recovery_manager.hh"
+
 namespace bbb
 {
 
@@ -201,10 +203,6 @@ BtreeWorkload::insert(MemAccessor &m, PersistentHeap &heap, unsigned arena,
 void
 BtreeWorkload::prepare(System &sys)
 {
-    _sys = &sys;
-    _first = firstThread();
-    _end = endThread(sys);
-
     ImageAccessor img(sys.image());
     Rng rng(_p.seed ^ 0xb7ee);
     for (unsigned t = _first; t < _end; ++t) {
@@ -221,7 +219,9 @@ BtreeWorkload::runThread(ThreadContext &tc, unsigned tid)
     TcAccessor m(tc);
     Addr root_slot = _sys->heap().rootAddr(tid);
     for (std::uint64_t i = 0; i < _p.ops_per_thread; ++i) {
-        insert(m, _sys->heap(), tid, root_slot, tc.rng().next());
+        std::uint64_t key = tc.rng().next();
+        logOp(tid, key);
+        insert(m, _sys->heap(), tid, root_slot, key);
         if (_p.compute_cycles)
             tc.compute(_p.compute_cycles);
     }
@@ -273,8 +273,73 @@ BtreeWorkload::checkRecovery(const PmemImage &img) const
 {
     RecoveryResult res;
     for (unsigned t = _first; t < _end; ++t)
-        checkSubtree(img, img.read64(_sys->heap().rootAddr(t)), 0, res);
+        checkSubtree(img, img.read64(imageRootAddr(img.addrMap(), t)), 0,
+                     res);
     return res;
+}
+
+bool
+BtreeWorkload::salvageNode(RecoveryCtx &ctx, const PmemImage &img,
+                           Addr node, unsigned depth) const
+{
+    if (node == 0 || !img.validPersistent(node) || depth > kMaxDepth)
+        return false;
+    std::uint64_t meta = img.read64(node);
+    bool is_leaf = metaIsLeaf(meta);
+    unsigned count = metaCount(meta);
+    if (count > kFanout)
+        return false; // garbage meta: nothing in the node is trustworthy
+
+    if (is_leaf) {
+        // Keep the longest checksum-valid slot prefix.
+        unsigned keep = count;
+        for (unsigned i = 0; i < count; ++i) {
+            std::uint64_t key = img.read64(keyAddr(node, i));
+            if (img.read64(keyAddr(node, i) + 8) != nodeChecksum(key)) {
+                keep = i;
+                break;
+            }
+        }
+        if (keep != count) {
+            ctx.repair64(node, metaWord(true, keep));
+            ctx.noteDropped(count - keep);
+        }
+    } else {
+        // Interior keys carry no checksum; a key is only as good as the
+        // children flanking it. Keep the longest usable-children prefix.
+        unsigned usable = 0;
+        for (unsigned i = 0; i <= count; ++i) {
+            if (!salvageNode(ctx, img, img.read64(childAddr(node, i)),
+                             depth + 1))
+                break;
+            ++usable;
+        }
+        if (usable == 0)
+            return false;
+        unsigned keep = usable - 1;
+        if (keep != count) {
+            ctx.repair64(node, metaWord(false, keep));
+            ctx.noteDropped(count - keep);
+        }
+    }
+    ctx.noteObject(node, kNodeBytes);
+    return true;
+}
+
+void
+BtreeWorkload::recover(RecoveryCtx &ctx)
+{
+    PmemImage img = ctx.image();
+    for (unsigned t = _first; t < _end; ++t) {
+        Addr root_slot = ctx.rootAddr(t);
+        Addr root = img.read64(root_slot);
+        if (root == 0)
+            continue;
+        if (!salvageNode(ctx, img, root, 0)) {
+            ctx.repair64(root_slot, 0);
+            ctx.noteDropped();
+        }
+    }
 }
 
 } // namespace bbb

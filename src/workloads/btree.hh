@@ -41,6 +41,7 @@ class BtreeWorkload : public Workload
     void prepare(System &sys) override;
     void runThread(ThreadContext &tc, unsigned tid) override;
     RecoveryResult checkRecovery(const PmemImage &img) const override;
+    void recover(RecoveryCtx &ctx) override;
 
     /** One insert through an arbitrary accessor. */
     static void insert(MemAccessor &m, PersistentHeap &heap, unsigned arena,
@@ -49,10 +50,10 @@ class BtreeWorkload : public Workload
   private:
     void checkSubtree(const PmemImage &img, Addr node, unsigned depth,
                       RecoveryResult &res) const;
-
-    System *_sys = nullptr;
-    unsigned _first = 0;
-    unsigned _end = 0;
+    /** Salvage a subtree in place; false if the node itself is unusable
+     *  (the caller truncates its own entry list before this child). */
+    bool salvageNode(RecoveryCtx &ctx, const PmemImage &img, Addr node,
+                     unsigned depth) const;
 };
 
 } // namespace bbb

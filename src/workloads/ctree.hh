@@ -32,6 +32,9 @@ class CtreeWorkload : public Workload
     void prepare(System &sys) override;
     void runThread(ThreadContext &tc, unsigned tid) override;
     RecoveryResult checkRecovery(const PmemImage &img) const override;
+    void recover(RecoveryCtx &ctx) override;
+    bool collectKeys(const PmemImage &img, unsigned tid,
+                     std::vector<std::uint64_t> &out) const override;
 
     /** One insert through an arbitrary accessor. */
     static void insert(MemAccessor &m, PersistentHeap &heap, unsigned arena,
@@ -40,10 +43,10 @@ class CtreeWorkload : public Workload
   private:
     void checkSubtree(const PmemImage &img, Addr node, unsigned depth,
                       RecoveryResult &res) const;
-
-    System *_sys = nullptr;
-    unsigned _first = 0;
-    unsigned _end = 0;
+    void recoverSubtree(RecoveryCtx &ctx, const PmemImage &img, Addr link,
+                        unsigned depth) const;
+    void collectSubtree(const PmemImage &img, Addr node, unsigned depth,
+                        std::vector<std::uint64_t> &out) const;
 };
 
 } // namespace bbb

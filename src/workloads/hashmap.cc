@@ -2,8 +2,15 @@
 
 #include <bit>
 
+#include "recover/recovery_manager.hh"
+
 namespace bbb
 {
+
+namespace
+{
+constexpr std::uint64_t kNodeBytes = 24;
+}
 
 void
 HashmapWorkload::insert(MemAccessor &m, PersistentHeap &heap,
@@ -12,11 +19,11 @@ HashmapWorkload::insert(MemAccessor &m, PersistentHeap &heap,
 {
     Addr bucket = buckets + (mix64(key) & (nbuckets - 1)) * 8;
 
-    Addr node = heap.alloc(arena, 24);
+    Addr node = heap.alloc(arena, kNodeBytes);
     m.st(node + 0, key);
     m.st(node + 8, nodeChecksum(key));
     m.st(node + 16, m.ld(bucket));
-    m.persistObject(node, 24);
+    m.persistObject(node, kNodeBytes);
 
     m.st(bucket, node);
     m.wb(bucket);
@@ -26,9 +33,6 @@ HashmapWorkload::insert(MemAccessor &m, PersistentHeap &heap,
 void
 HashmapWorkload::prepare(System &sys)
 {
-    _sys = &sys;
-    _first = firstThread();
-    _end = endThread(sys);
     _nbuckets = std::bit_ceil(std::max<std::uint64_t>(
         16, _p.initial_elements + _p.ops_per_thread));
 
@@ -49,10 +53,19 @@ HashmapWorkload::runThread(ThreadContext &tc, unsigned tid)
     TcAccessor m(tc);
     Addr buckets = tc.load64(_sys->heap().rootAddr(tid));
     for (std::uint64_t i = 0; i < _p.ops_per_thread; ++i) {
-        insert(m, _sys->heap(), tid, buckets, _nbuckets, tc.rng().next());
+        std::uint64_t key = tc.rng().next();
+        logOp(tid, key);
+        insert(m, _sys->heap(), tid, buckets, _nbuckets, key);
         if (_p.compute_cycles)
             tc.compute(_p.compute_cycles);
     }
+}
+
+bool
+HashmapWorkload::bucketsUsable(const PmemImage &img, Addr buckets) const
+{
+    return buckets != 0 && img.validPersistent(buckets) &&
+           img.validPersistent(buckets + _nbuckets * 8 - 1);
 }
 
 RecoveryResult
@@ -60,8 +73,8 @@ HashmapWorkload::checkRecovery(const PmemImage &img) const
 {
     RecoveryResult res;
     for (unsigned t = _first; t < _end; ++t) {
-        Addr buckets = img.read64(_sys->heap().rootAddr(t));
-        if (buckets == 0 || !img.validPersistent(buckets)) {
+        Addr buckets = img.read64(imageRootAddr(img.addrMap(), t));
+        if (!bucketsUsable(img, buckets)) {
             ++res.dangling;
             continue;
         }
@@ -83,8 +96,7 @@ HashmapWorkload::checkRecovery(const PmemImage &img) const
                     break;
                 }
                 node = img.read64(node + 16);
-                if (++guard >
-                    _p.initial_elements + _p.ops_per_thread + 8) {
+                if (++guard > _p.initial_elements + lifeOps() + 8) {
                     ++res.dangling;
                     break;
                 }
@@ -92,6 +104,71 @@ HashmapWorkload::checkRecovery(const PmemImage &img) const
         }
     }
     return res;
+}
+
+void
+HashmapWorkload::recover(RecoveryCtx &ctx)
+{
+    PmemImage img = ctx.image();
+    for (unsigned t = _first; t < _end; ++t) {
+        Addr root = ctx.rootAddr(t);
+        Addr buckets = img.read64(root);
+        if (!bucketsUsable(img, buckets)) {
+            // The bucket array itself is gone: rebuild an empty map.
+            // Nothing in this arena was noted yet, so the allocation
+            // lands at the arena base — the same spot prepare() used.
+            Addr fresh = ctx.alloc(t, _nbuckets * 8, kBlockSize);
+            for (std::uint64_t b = 0; b < _nbuckets; ++b)
+                ctx.write64(fresh + b * 8, 0);
+            ctx.repair64(root, fresh);
+            ctx.noteDropped();
+            continue;
+        }
+        ctx.noteObject(buckets, _nbuckets * 8);
+        for (std::uint64_t b = 0; b < _nbuckets; ++b) {
+            Addr link = buckets + b * 8;
+            Addr node = img.read64(link);
+            std::uint64_t guard = 0;
+            while (node != 0) {
+                bool sound = img.validPersistent(node) &&
+                             img.read64(node + 8) ==
+                                 nodeChecksum(img.read64(node + 0)) &&
+                             ++guard <=
+                                 _p.initial_elements + lifeOps() + 8;
+                if (!sound) {
+                    ctx.repair64(link, 0);
+                    ctx.noteDropped();
+                    break;
+                }
+                ctx.noteObject(node, kNodeBytes);
+                link = node + 16;
+                node = img.read64(link);
+            }
+        }
+    }
+}
+
+bool
+HashmapWorkload::collectKeys(const PmemImage &img, unsigned tid,
+                             std::vector<std::uint64_t> &out) const
+{
+    Addr buckets = img.read64(imageRootAddr(img.addrMap(), tid));
+    if (!bucketsUsable(img, buckets))
+        return true;
+    for (std::uint64_t b = 0; b < _nbuckets; ++b) {
+        Addr node = img.read64(buckets + b * 8);
+        std::uint64_t guard = 0;
+        while (node != 0 && img.validPersistent(node)) {
+            std::uint64_t key = img.read64(node + 0);
+            if (img.read64(node + 8) != nodeChecksum(key))
+                break;
+            out.push_back(key);
+            node = img.read64(node + 16);
+            if (++guard > _p.initial_elements + lifeOps() + 8)
+                break;
+        }
+    }
+    return true;
 }
 
 } // namespace bbb

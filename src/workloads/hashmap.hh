@@ -27,6 +27,9 @@ class HashmapWorkload : public Workload
     void prepare(System &sys) override;
     void runThread(ThreadContext &tc, unsigned tid) override;
     RecoveryResult checkRecovery(const PmemImage &img) const override;
+    void recover(RecoveryCtx &ctx) override;
+    bool collectKeys(const PmemImage &img, unsigned tid,
+                     std::vector<std::uint64_t> &out) const override;
 
     /** One insert through an arbitrary accessor. */
     static void insert(MemAccessor &m, PersistentHeap &heap, unsigned arena,
@@ -34,10 +37,10 @@ class HashmapWorkload : public Workload
                        std::uint64_t key);
 
   private:
+    /** True if the bucket array pointer and span are usable. */
+    bool bucketsUsable(const PmemImage &img, Addr buckets) const;
+
     std::uint64_t _nbuckets = 0;
-    System *_sys = nullptr;
-    unsigned _first = 0;
-    unsigned _end = 0;
 };
 
 } // namespace bbb

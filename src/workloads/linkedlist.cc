@@ -1,13 +1,20 @@
 #include "workloads/linkedlist.hh"
 
+#include "recover/recovery_manager.hh"
+
 namespace bbb
 {
+
+namespace
+{
+constexpr std::uint64_t kNodeBytes = 24;
+}
 
 void
 LinkedListWorkload::appendNode(MemAccessor &m, PersistentHeap &heap,
                                unsigned arena, Addr root, std::uint64_t key)
 {
-    Addr node = heap.alloc(arena, 24);
+    Addr node = heap.alloc(arena, kNodeBytes);
 
     // Initialise the node, then persist it before publication (Fig. 3
     // lines 7-8; the writeBack/persistBarrier pair is a no-op under BBB
@@ -15,7 +22,7 @@ LinkedListWorkload::appendNode(MemAccessor &m, PersistentHeap &heap,
     m.st(node + 0, key);
     m.st(node + 8, nodeChecksum(key));
     m.st(node + 16, m.ld(root));
-    m.persistObject(node, 24);
+    m.persistObject(node, kNodeBytes);
 
     // Publish: update the head pointer, then persist it (lines 10-13).
     m.st(root, node);
@@ -26,10 +33,6 @@ LinkedListWorkload::appendNode(MemAccessor &m, PersistentHeap &heap,
 void
 LinkedListWorkload::prepare(System &sys)
 {
-    _sys = &sys;
-    _first = firstThread();
-    _end = endThread(sys);
-
     ImageAccessor img(sys.image());
     Rng rng(_p.seed ^ 0x11511);
     for (unsigned t = _first; t < _end; ++t) {
@@ -46,7 +49,9 @@ LinkedListWorkload::runThread(ThreadContext &tc, unsigned tid)
     TcAccessor m(tc);
     Addr root = _sys->heap().rootAddr(tid);
     for (std::uint64_t i = 0; i < _p.ops_per_thread; ++i) {
-        appendNode(m, _sys->heap(), tid, root, tc.rng().next());
+        std::uint64_t key = tc.rng().next();
+        logOp(tid, key);
+        appendNode(m, _sys->heap(), tid, root, key);
         if (_p.compute_cycles)
             tc.compute(_p.compute_cycles);
     }
@@ -57,7 +62,7 @@ LinkedListWorkload::checkRecovery(const PmemImage &img) const
 {
     RecoveryResult res;
     for (unsigned t = _first; t < _end; ++t) {
-        Addr node = img.read64(_sys->heap().rootAddr(t));
+        Addr node = img.read64(imageRootAddr(img.addrMap(), t));
         std::uint64_t guard = 0;
         while (node != 0) {
             if (!img.validPersistent(node)) {
@@ -76,13 +81,58 @@ LinkedListWorkload::checkRecovery(const PmemImage &img) const
                 break;
             }
             node = img.read64(node + 16);
-            if (++guard > _p.initial_elements + _p.ops_per_thread + 8) {
+            if (++guard > _p.initial_elements + lifeOps() + 8) {
                 ++res.dangling; // cycle: structural corruption
                 break;
             }
         }
     }
     return res;
+}
+
+void
+LinkedListWorkload::recover(RecoveryCtx &ctx)
+{
+    PmemImage img = ctx.image();
+    for (unsigned t = _first; t < _end; ++t) {
+        // `link` is the pointer slot that leads to `node`; truncating at
+        // damage means nulling that slot, which keeps the intact prefix.
+        Addr link = ctx.rootAddr(t);
+        Addr node = img.read64(link);
+        std::uint64_t guard = 0;
+        while (node != 0) {
+            bool sound = img.validPersistent(node) &&
+                         img.read64(node + 8) ==
+                             nodeChecksum(img.read64(node + 0)) &&
+                         ++guard <= _p.initial_elements + lifeOps() + 8;
+            if (!sound) {
+                ctx.repair64(link, 0);
+                ctx.noteDropped();
+                break;
+            }
+            ctx.noteObject(node, kNodeBytes);
+            link = node + 16;
+            node = img.read64(link);
+        }
+    }
+}
+
+bool
+LinkedListWorkload::collectKeys(const PmemImage &img, unsigned tid,
+                                std::vector<std::uint64_t> &out) const
+{
+    Addr node = img.read64(imageRootAddr(img.addrMap(), tid));
+    std::uint64_t guard = 0;
+    while (node != 0 && img.validPersistent(node)) {
+        std::uint64_t key = img.read64(node + 0);
+        if (img.read64(node + 8) != nodeChecksum(key))
+            break;
+        out.push_back(key);
+        node = img.read64(node + 16);
+        if (++guard > _p.initial_elements + lifeOps() + 8)
+            break;
+    }
+    return true;
 }
 
 } // namespace bbb

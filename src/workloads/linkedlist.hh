@@ -32,15 +32,13 @@ class LinkedListWorkload : public Workload
     void prepare(System &sys) override;
     void runThread(ThreadContext &tc, unsigned tid) override;
     RecoveryResult checkRecovery(const PmemImage &img) const override;
+    void recover(RecoveryCtx &ctx) override;
+    bool collectKeys(const PmemImage &img, unsigned tid,
+                     std::vector<std::uint64_t> &out) const override;
 
     /** One prepend through an arbitrary accessor (shared logic). */
     static void appendNode(MemAccessor &m, PersistentHeap &heap,
                            unsigned arena, Addr root, std::uint64_t key);
-
-  private:
-    System *_sys = nullptr;
-    unsigned _first = 0;
-    unsigned _end = 0;
 };
 
 } // namespace bbb

@@ -1,5 +1,7 @@
 #include "workloads/rbtree.hh"
 
+#include "recover/recovery_manager.hh"
+
 namespace bbb
 {
 
@@ -184,10 +186,6 @@ RbtreeWorkload::insert(MemAccessor &m, PersistentHeap &heap, unsigned arena,
 void
 RbtreeWorkload::prepare(System &sys)
 {
-    _sys = &sys;
-    _first = firstThread();
-    _end = endThread(sys);
-
     ImageAccessor img(sys.image());
     Rng rng(_p.seed ^ 0x8b7ee);
     for (unsigned t = _first; t < _end; ++t) {
@@ -204,7 +202,9 @@ RbtreeWorkload::runThread(ThreadContext &tc, unsigned tid)
     TcAccessor m(tc);
     Addr root_slot = _sys->heap().rootAddr(tid);
     for (std::uint64_t i = 0; i < _p.ops_per_thread; ++i) {
-        insert(m, _sys->heap(), tid, root_slot, tc.rng().next());
+        std::uint64_t key = tc.rng().next();
+        logOp(tid, key);
+        insert(m, _sys->heap(), tid, root_slot, key);
         if (_p.compute_cycles)
             tc.compute(_p.compute_cycles);
     }
@@ -237,8 +237,53 @@ RbtreeWorkload::checkRecovery(const PmemImage &img) const
 {
     RecoveryResult res;
     for (unsigned t = _first; t < _end; ++t)
-        checkSubtree(img, img.read64(_sys->heap().rootAddr(t)), 0, res);
+        checkSubtree(img, img.read64(imageRootAddr(img.addrMap(), t)), 0,
+                     res);
     return res;
+}
+
+void
+RbtreeWorkload::recoverSubtree(RecoveryCtx &ctx, const PmemImage &img,
+                               Addr link, Addr parent, unsigned depth,
+                               std::set<Addr> &visited) const
+{
+    Addr node = img.read64(link);
+    if (node == 0)
+        return;
+    // A damaged image can alias a node under two parents (torn pointer
+    // blocks, interrupted rotations). Keep only the first (pre-order)
+    // occurrence: a DAG'd tree would let a resumed rotation close a
+    // cycle and hang the descent.
+    bool sound = img.validPersistent(node) && depth <= kMaxDepth &&
+                 visited.insert(node).second &&
+                 img.read64(node + kOffSum) ==
+                     nodeChecksum(img.read64(node + kOffKey));
+    if (!sound) {
+        ctx.repair64(link, 0);
+        ctx.noteDropped();
+        return;
+    }
+    ctx.noteObject(node, 40);
+    // Reconcile the rebalancing hints: a crash mid-rotation legitimately
+    // leaves parent pointers stale (they are written after the structural
+    // commits), and stale hints would derail a resumed fixup. Re-derive
+    // the parent from the walk and recolor everything black — an
+    // all-black tree has no red-red violations, so resumed inserts start
+    // from a fixup-quiescent state. This is normalization, not damage.
+    std::uint64_t want = parent; // black: color bit clear
+    if (img.read64(node + kOffParent) != want)
+        ctx.normalize64(node + kOffParent, want);
+    recoverSubtree(ctx, img, node + kOffLeft, node, depth + 1, visited);
+    recoverSubtree(ctx, img, node + kOffRight, node, depth + 1, visited);
+}
+
+void
+RbtreeWorkload::recover(RecoveryCtx &ctx)
+{
+    PmemImage img = ctx.image();
+    std::set<Addr> visited;
+    for (unsigned t = _first; t < _end; ++t)
+        recoverSubtree(ctx, img, ctx.rootAddr(t), 0, 0, visited);
 }
 
 } // namespace bbb

@@ -26,6 +26,8 @@
 #ifndef BBB_WORKLOADS_RBTREE_HH
 #define BBB_WORKLOADS_RBTREE_HH
 
+#include <set>
+
 #include "workloads/workload.hh"
 
 namespace bbb
@@ -41,6 +43,7 @@ class RbtreeWorkload : public Workload
     void prepare(System &sys) override;
     void runThread(ThreadContext &tc, unsigned tid) override;
     RecoveryResult checkRecovery(const PmemImage &img) const override;
+    void recover(RecoveryCtx &ctx) override;
 
     /** One insert through an arbitrary accessor. */
     static void insert(MemAccessor &m, PersistentHeap &heap, unsigned arena,
@@ -49,10 +52,9 @@ class RbtreeWorkload : public Workload
   private:
     void checkSubtree(const PmemImage &img, Addr node, unsigned depth,
                       RecoveryResult &res) const;
-
-    System *_sys = nullptr;
-    unsigned _first = 0;
-    unsigned _end = 0;
+    void recoverSubtree(RecoveryCtx &ctx, const PmemImage &img, Addr link,
+                        Addr parent, unsigned depth,
+                        std::set<Addr> &visited) const;
 };
 
 } // namespace bbb

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "recover/recovery_manager.hh"
+
 namespace bbb
 {
 
@@ -323,10 +325,6 @@ struct PointWalk
 void
 RtreeWorkload::prepare(System &sys)
 {
-    _sys = &sys;
-    _first = firstThread();
-    _end = endThread(sys);
-
     ImageAccessor img(sys.image());
     Rng rng(_p.seed ^ 0x57ee);
     for (unsigned t = _first; t < _end; ++t) {
@@ -400,8 +398,69 @@ RtreeWorkload::checkRecovery(const PmemImage &img) const
 {
     RecoveryResult res;
     for (unsigned t = _first; t < _end; ++t)
-        checkSubtree(img, img.read64(_sys->heap().rootAddr(t)), 0, res);
+        checkSubtree(img, img.read64(imageRootAddr(img.addrMap(), t)), 0,
+                     res);
     return res;
+}
+
+bool
+RtreeWorkload::salvageNode(RecoveryCtx &ctx, const PmemImage &img,
+                           Addr node, unsigned depth) const
+{
+    if (node == 0 || !img.validPersistent(node) || depth > kMaxDepth)
+        return false;
+    std::uint64_t meta = img.read64(node);
+    bool is_leaf = metaIsLeaf(meta);
+    unsigned count = metaCount(meta);
+    if (count > kFanout)
+        return false; // corrupt meta word
+
+    unsigned keep = count;
+    for (unsigned i = 0; i < count; ++i) {
+        Addr e = entryAddr(node, i);
+        std::uint64_t tag = img.read64(e + 32);
+        bool ok;
+        if (is_leaf) {
+            Rect r;
+            r.x1 = static_cast<std::int64_t>(img.read64(e + 0));
+            r.y1 = static_cast<std::int64_t>(img.read64(e + 8));
+            r.x2 = static_cast<std::int64_t>(img.read64(e + 16));
+            r.y2 = static_cast<std::int64_t>(img.read64(e + 24));
+            ok = tag == rectChecksum(r);
+        } else {
+            ok = salvageNode(ctx, img, tag, depth + 1);
+        }
+        if (!ok) {
+            keep = i;
+            break;
+        }
+    }
+    // An interior node with no usable children would break the resumed
+    // chooseSubtree (which requires a live entry): unusable upward.
+    if (!is_leaf && keep == 0)
+        return false;
+    if (keep != count) {
+        ctx.repair64(node, metaWord(is_leaf, keep));
+        ctx.noteDropped(count - keep);
+    }
+    ctx.noteObject(node, kNodeBytes);
+    return true;
+}
+
+void
+RtreeWorkload::recover(RecoveryCtx &ctx)
+{
+    PmemImage img = ctx.image();
+    for (unsigned t = _first; t < _end; ++t) {
+        Addr root_slot = ctx.rootAddr(t);
+        Addr root = img.read64(root_slot);
+        if (root == 0)
+            continue;
+        if (!salvageNode(ctx, img, root, 0)) {
+            ctx.repair64(root_slot, 0);
+            ctx.noteDropped();
+        }
+    }
 }
 
 } // namespace bbb

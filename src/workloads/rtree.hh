@@ -43,6 +43,7 @@ class RtreeWorkload : public Workload
     void prepare(System &sys) override;
     void runThread(ThreadContext &tc, unsigned tid) override;
     RecoveryResult checkRecovery(const PmemImage &img) const override;
+    void recover(RecoveryCtx &ctx) override;
 
     /** Axis-aligned bounding rectangle (signed coordinates). */
     struct Rect
@@ -76,10 +77,9 @@ class RtreeWorkload : public Workload
   private:
     void checkSubtree(const PmemImage &img, Addr node, unsigned depth,
                       RecoveryResult &res) const;
-
-    System *_sys = nullptr;
-    unsigned _first = 0;
-    unsigned _end = 0;
+    /** Salvage a subtree in place; false if the node is unusable. */
+    bool salvageNode(RecoveryCtx &ctx, const PmemImage &img, Addr node,
+                     unsigned depth) const;
 };
 
 } // namespace bbb

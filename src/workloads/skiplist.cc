@@ -1,6 +1,8 @@
 #include "workloads/skiplist.hh"
 
-#include <set>
+#include <map>
+
+#include "recover/recovery_manager.hh"
 
 namespace bbb
 {
@@ -95,10 +97,6 @@ SkiplistWorkload::insert(MemAccessor &m, PersistentHeap &heap,
 void
 SkiplistWorkload::prepare(System &sys)
 {
-    _sys = &sys;
-    _first = firstThread();
-    _end = endThread(sys);
-
     ImageAccessor img(sys.image());
     Rng rng(_p.seed ^ 0x5c1b);
     for (unsigned t = _first; t < _end; ++t) {
@@ -115,7 +113,9 @@ SkiplistWorkload::runThread(ThreadContext &tc, unsigned tid)
     TcAccessor m(tc);
     Addr head = tc.load64(_sys->heap().rootAddr(tid));
     for (std::uint64_t i = 0; i < _p.ops_per_thread; ++i) {
-        insert(m, _sys->heap(), tid, head, tc.rng().next() | 1, tc.rng());
+        std::uint64_t key = tc.rng().next() | 1;
+        logOp(tid, key);
+        insert(m, _sys->heap(), tid, head, key, tc.rng());
         if (_p.compute_cycles)
             tc.compute(_p.compute_cycles);
     }
@@ -125,18 +125,17 @@ RecoveryResult
 SkiplistWorkload::checkRecovery(const PmemImage &img) const
 {
     RecoveryResult res;
-    std::uint64_t limit =
-        (_p.initial_elements + _p.ops_per_thread + 8) * 2;
+    std::uint64_t limit = (_p.initial_elements + lifeOps() + 8) * 2;
 
     for (unsigned t = _first; t < _end; ++t) {
-        Addr head = img.read64(_sys->heap().rootAddr(t));
+        Addr head = img.read64(imageRootAddr(img.addrMap(), t));
         if (head == 0 || !img.validPersistent(head)) {
             ++res.dangling;
             continue;
         }
 
         // Level 0: every member must validate.
-        std::set<Addr> members;
+        std::map<Addr, std::pair<unsigned, std::uint64_t>> members;
         Addr node = img.read64(nextAddr(head, 0));
         std::uint64_t guard = 0;
         std::uint64_t prev_key = 0;
@@ -147,37 +146,155 @@ SkiplistWorkload::checkRecovery(const PmemImage &img) const
             }
             ++res.checked;
             std::uint64_t key = img.read64(node + kOffKey);
+            unsigned h =
+                static_cast<unsigned>(img.read64(node + kOffHeight));
             if (img.read64(node + kOffSum) != nodeChecksum(key) ||
-                key < prev_key) {
+                key < prev_key || h < 1 || h > kMaxHeight) {
                 ++res.torn;
                 break;
             }
             ++res.intact;
             prev_key = key;
-            members.insert(node);
+            members.emplace(node, std::make_pair(h, key));
             node = img.read64(nextAddr(node, 0));
         }
 
-        // Higher levels: strictly subsequences of the membership set.
+        // Accelerator levels: membership closure, mirroring recover().
+        // Every reachable next[lvl] — the head's and each member's —
+        // must land on a member taller than the level and ahead in key
+        // order; a from-head subsequence walk alone would miss stale
+        // pointers past a cut, which a search can still reach by
+        // descending onto a later member.
+        auto levelSound = [&](std::uint64_t from_key, Addr n,
+                              unsigned lvl) {
+            if (n == 0)
+                return true;
+            auto it = members.find(n);
+            return it != members.end() && it->second.first > lvl &&
+                   it->second.second >= from_key;
+        };
         for (unsigned lvl = 1; lvl < kMaxHeight; ++lvl) {
-            Addr n = img.read64(nextAddr(head, lvl));
-            std::uint64_t lvl_guard = 0;
-            while (n != 0) {
-                if (!members.count(n) || ++lvl_guard > limit) {
-                    ++res.dangling; // accelerator points outside the list
-                    break;
-                }
-                unsigned h = static_cast<unsigned>(
-                    img.read64(n + kOffHeight));
-                if (h <= lvl || h > kMaxHeight) {
-                    ++res.torn;
-                    break;
-                }
-                n = img.read64(nextAddr(n, lvl));
+            if (!levelSound(0, img.read64(nextAddr(head, lvl)), lvl))
+                ++res.dangling; // accelerator points outside the list
+            for (const auto &[n, info] : members) {
+                if (info.first <= lvl)
+                    continue;
+                if (!levelSound(info.second,
+                                img.read64(nextAddr(n, lvl)), lvl))
+                    ++res.dangling;
             }
         }
     }
     return res;
+}
+
+void
+SkiplistWorkload::recover(RecoveryCtx &ctx)
+{
+    PmemImage img = ctx.image();
+    std::uint64_t limit = (_p.initial_elements + lifeOps() + 8) * 2;
+
+    for (unsigned t = _first; t < _end; ++t) {
+        Addr root = ctx.rootAddr(t);
+        Addr head = img.read64(root);
+        bool head_ok = head != 0 && img.validPersistent(head) &&
+                       img.read64(head + kOffSum) == nodeChecksum(0) &&
+                       img.read64(head + kOffHeight) == kMaxHeight;
+        if (!head_ok) {
+            // The head was the first allocation in this arena, so the
+            // rebuild lands at the arena base; the list restarts empty.
+            Addr fresh = ctx.alloc(t, nodeBytes(kMaxHeight), 8);
+            ctx.write64(fresh + kOffKey, 0);
+            ctx.write64(fresh + kOffSum, nodeChecksum(0));
+            ctx.write64(fresh + kOffHeight, kMaxHeight);
+            for (unsigned lvl = 0; lvl < kMaxHeight; ++lvl)
+                ctx.write64(nextAddr(fresh, lvl), 0);
+            ctx.repair64(root, fresh);
+            ctx.noteDropped();
+            continue;
+        }
+        ctx.noteObject(head, nodeBytes(kMaxHeight));
+
+        // Level 0: keep the longest valid sorted prefix; remember each
+        // member's height and key for the closure sweep below.
+        std::map<Addr, std::pair<unsigned, std::uint64_t>> members;
+        Addr link = nextAddr(head, 0);
+        Addr node = img.read64(link);
+        std::uint64_t guard = 0;
+        std::uint64_t prev_key = 0;
+        while (node != 0) {
+            std::uint64_t key = img.read64(node + kOffKey);
+            unsigned h =
+                static_cast<unsigned>(img.read64(node + kOffHeight));
+            bool sound = img.validPersistent(node) &&
+                         img.read64(node + kOffSum) == nodeChecksum(key) &&
+                         key >= prev_key && h >= 1 && h <= kMaxHeight &&
+                         ++guard <= limit;
+            if (!sound) {
+                ctx.repair64(link, 0);
+                ctx.noteDropped();
+                break;
+            }
+            members.emplace(node, std::make_pair(h, key));
+            ctx.noteObject(node, nodeBytes(h));
+            prev_key = key;
+            link = nextAddr(node, 0);
+            node = img.read64(link);
+        }
+
+        // Accelerator levels need membership *closure*, not just a cut
+        // of the from-head chain: a search enters level lvl at whatever
+        // member it descended onto, so every member's next[lvl] —
+        // including ones past a from-head cut — is reachable. A dropped
+        // node keeps its bytes and reads back checksum-valid, so a
+        // stale pointer into one would quietly weave it into the live
+        // list on resume. Terminate any pointer that does not land on
+        // a surviving member that is taller than the level and ahead in
+        // key order; losing an accelerator shortcut only slows searches.
+        auto levelSound = [&](std::uint64_t from_key, Addr n,
+                              unsigned lvl) {
+            if (n == 0)
+                return true;
+            auto it = members.find(n);
+            return it != members.end() && it->second.first > lvl &&
+                   it->second.second >= from_key;
+        };
+        for (unsigned lvl = 1; lvl < kMaxHeight; ++lvl) {
+            Addr hl = nextAddr(head, lvl);
+            if (!levelSound(0, img.read64(hl), lvl))
+                ctx.repair64(hl, 0);
+            for (const auto &[n, info] : members) {
+                if (info.first <= lvl)
+                    continue; // node has no next[lvl] field
+                Addr l = nextAddr(n, lvl);
+                if (!levelSound(info.second, img.read64(l), lvl))
+                    ctx.repair64(l, 0);
+            }
+        }
+    }
+}
+
+bool
+SkiplistWorkload::collectKeys(const PmemImage &img, unsigned tid,
+                              std::vector<std::uint64_t> &out) const
+{
+    std::uint64_t limit = (_p.initial_elements + lifeOps() + 8) * 2;
+    Addr head = img.read64(imageRootAddr(img.addrMap(), tid));
+    if (head == 0 || !img.validPersistent(head))
+        return true;
+    Addr node = img.read64(nextAddr(head, 0));
+    std::uint64_t guard = 0;
+    std::uint64_t prev_key = 0;
+    while (node != 0 && img.validPersistent(node)) {
+        std::uint64_t key = img.read64(node + kOffKey);
+        if (img.read64(node + kOffSum) != nodeChecksum(key) ||
+            key < prev_key || ++guard > limit)
+            break;
+        out.push_back(key);
+        prev_key = key;
+        node = img.read64(nextAddr(node, 0));
+    }
+    return true;
 }
 
 } // namespace bbb

@@ -42,6 +42,9 @@ class SkiplistWorkload : public Workload
     void prepare(System &sys) override;
     void runThread(ThreadContext &tc, unsigned tid) override;
     RecoveryResult checkRecovery(const PmemImage &img) const override;
+    void recover(RecoveryCtx &ctx) override;
+    bool collectKeys(const PmemImage &img, unsigned tid,
+                     std::vector<std::uint64_t> &out) const override;
 
     /**
      * One insert through an arbitrary accessor. The head node lives at
@@ -53,11 +56,6 @@ class SkiplistWorkload : public Workload
     /** Create the (all-levels, key-less) head node. */
     static Addr makeHead(MemAccessor &m, PersistentHeap &heap,
                          unsigned arena);
-
-  private:
-    System *_sys = nullptr;
-    unsigned _first = 0;
-    unsigned _end = 0;
 };
 
 } // namespace bbb

@@ -8,6 +8,12 @@
  * operations — the paper's worst-case persist pressure design. After a
  * simulated crash, checkRecovery() walks the post-crash image from the
  * persistent roots and classifies reachable objects as intact or torn.
+ *
+ * Crash–recover–resume: recover() repairs a damaged post-crash image in
+ * place (unlinking torn tails rather than aborting), install()/resume()
+ * bind the measured loop to a fresh or reseeded System, and the issued-key
+ * log plus collectKeys() feed the lifetime campaign's durable-
+ * linearizability oracle (see src/recover/).
  */
 
 #ifndef BBB_WORKLOADS_WORKLOAD_HH
@@ -23,6 +29,8 @@
 
 namespace bbb
 {
+
+class RecoveryCtx;
 
 /** Size/shape knobs shared by all workloads. */
 struct WorkloadParams
@@ -65,16 +73,60 @@ class Workload
     /** Walk the post-crash image and validate integrity. */
     virtual RecoveryResult checkRecovery(const PmemImage &img) const = 0;
 
+    /**
+     * Repair a damaged post-crash image in place: walk from the roots,
+     * keep every structurally sound prefix, and unlink torn or dangling
+     * tails through the context's repair writes. Must never assert on
+     * image contents — unrepairable damage is reported through
+     * RecoveryCtx::markUnrecoverable().
+     */
+    virtual void recover(RecoveryCtx &ctx) = 0;
+
+    /**
+     * Collect thread @p tid's reachable keys from the image, in walk
+     * order. Returns false when the workload has no lossless key oracle
+     * (arrays; trees whose rebalancing can shed acked keys at a crash).
+     */
+    virtual bool
+    collectKeys(const PmemImage &img, unsigned tid,
+                std::vector<std::uint64_t> &out) const
+    {
+        (void)img;
+        (void)tid;
+        (void)out;
+        return false;
+    }
+
+    /** checkRecovery() plus the image's out-of-range read tally. */
+    RecoveryResult
+    verifyImage(const PmemImage &img) const
+    {
+        std::uint64_t before = img.oobReads();
+        RecoveryResult res = checkRecovery(img);
+        res.oob += img.oobReads() - before;
+        return res;
+    }
+
     /** prepare() + bind runThread to this workload's core range. */
     void
     install(System &sys)
     {
+        beginLife(sys);
         prepare(sys);
-        for (CoreId c = firstThread(); c < endThread(sys); ++c) {
-            sys.onThread(c, [this, c](ThreadContext &tc) {
-                runThread(tc, c);
-            });
-        }
+        bindThreads(sys);
+    }
+
+    /**
+     * Bind the measured loop to a reseeded machine without re-preparing:
+     * the next life of a crash–recover–resume lifetime. The caller has
+     * already seeded the image (System::seedImage) and restored the heap
+     * frontiers from recovery.
+     */
+    void
+    resume(System &sys)
+    {
+        beginLife(sys);
+        bindThreads(sys);
     }
 
     const WorkloadParams &params() const { return _p; }
@@ -100,8 +152,71 @@ class Workload
         return _p.thread_offset + count;
     }
 
+    /** Thread range bound by the last install()/resume(). */
+    unsigned boundFirst() const { return _first; }
+    unsigned boundEnd() const { return _end; }
+
+    /**
+     * Keys logged by runThread in this life, in program (issue) order.
+     * With TSO's in-order store-buffer drain, the keys that survive a
+     * crash under a safe mode are exactly a prefix of this sequence —
+     * the campaign's persist-order oracle.
+     */
+    const std::vector<std::uint64_t> &
+    issuedKeys(unsigned tid) const
+    {
+        return _issued.at(tid);
+    }
+
+    /** Root slot address for @p slot in any image sharing this map. */
+    static Addr
+    imageRootAddr(const AddrMap &map, unsigned slot)
+    {
+        BBB_ASSERT(slot < PersistentHeap::kRootSlots,
+                   "root slot %u out of range", slot);
+        return map.persistBase() + 8 + slot * 8ull;
+    }
+
   protected:
+    /** Record a keyed op at issue time (fiber-side; cores share one
+     *  OS thread per System, so no locking is needed). */
+    void logOp(unsigned tid, std::uint64_t key)
+    {
+        _issued.at(tid).push_back(key);
+    }
+
+    /** Ops performed across all lives so far: sizes cycle guards so a
+     *  resumed structure's legitimate growth never reads as corruption. */
+    std::uint64_t lifeOps() const { return _life_ops; }
+
     WorkloadParams _p;
+    System *_sys = nullptr;
+    unsigned _first = 0;
+    unsigned _end = 0;
+
+  private:
+    void
+    beginLife(System &sys)
+    {
+        _sys = &sys;
+        _first = firstThread();
+        _end = endThread(sys);
+        _life_ops += _p.ops_per_thread;
+        _issued.assign(_end, {});
+    }
+
+    void
+    bindThreads(System &sys)
+    {
+        for (CoreId c = _first; c < _end; ++c) {
+            sys.onThread(c, [this, c](ThreadContext &tc) {
+                runThread(tc, c);
+            });
+        }
+    }
+
+    std::uint64_t _life_ops = 0;
+    std::vector<std::vector<std::uint64_t>> _issued;
 };
 
 /** All registered workload names (Table IV + the Fig. 2 linked list). */

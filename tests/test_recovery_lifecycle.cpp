@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Degenerate crash points in the crash–recover–resume lifecycle, plus
+ * the bounds-checked image view and the campaign watchdog:
+ *
+ *  - out-of-range PmemImage reads surface as RecoveryResult::oob
+ *    (zero-filled data, counted), never UB or an assert;
+ *  - a crash at tick 0 — before a single instruction ran — recovers
+ *    Clean from the installed image;
+ *  - a completely empty backing store is a structured Unrecoverable
+ *    (heap magic missing), not a crash;
+ *  - crashing within the first few cycles of execution (around the
+ *    first persisting stores) still recovers and resumes;
+ *  - a second crash almost immediately after a resume keeps the whole
+ *    lifecycle sound (no oracle violation, never an abort);
+ *  - a hung campaign job dies through the BBB_JOB_TIMEOUT_S watchdog,
+ *    printing the offender's repro line.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "api/experiment.hh"
+#include "api/system.hh"
+#include "recover/lifetime.hh"
+#include "recover/recovery_manager.hh"
+#include "workloads/workload.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+SystemConfig
+smallCfg(PersistMode mode)
+{
+    SystemConfig c;
+    c.num_cores = 2;
+    c.l1d.size_bytes = 4_KiB;
+    c.llc.size_bytes = 16_KiB;
+    c.dram.size_bytes = 64_MiB;
+    c.nvmm.size_bytes = 64_MiB;
+    c.bbpb.entries = 8;
+    c.mode = mode;
+    return c;
+}
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.ops_per_thread = 100;
+    p.initial_elements = 40;
+    p.array_elements = 1 << 12;
+    return p;
+}
+
+} // namespace
+
+TEST(PmemImageBounds, OutOfRangeReadsAreCountedNotFatal)
+{
+    System sys(smallCfg(PersistMode::BbbMemSide));
+    PmemImage img = sys.pmemImage();
+
+    // Far beyond any mapped range: zero data, one counted OOB read.
+    Addr wild = ~0ull - 4096;
+    EXPECT_FALSE(img.validPersistent(wild));
+    EXPECT_EQ(img.read64(wild), 0u);
+    EXPECT_EQ(img.oobReads(), 1u);
+
+    // A read straddling the end of the address space is OOB too.
+    img.read64(sys.addrMap().end() - 4);
+    EXPECT_EQ(img.oobReads(), 2u);
+
+    // In-range reads leave the counter alone.
+    img.read64(sys.addrMap().persistBase());
+    EXPECT_EQ(img.oobReads(), 2u);
+}
+
+TEST(DegenerateCrash, TickZeroRecoversClean)
+{
+    System sys(smallCfg(PersistMode::Eadr));
+    auto wl = makeWorkload("linkedlist", smallParams());
+    wl->install(sys);
+    sys.runAndCrashAt(0); // nothing executed: image is prepare()'s
+
+    BackingStore raw = sys.image().clone();
+    RecoveryManager mgr(raw, sys.addrMap(), 2);
+    RecoverOutcome out = mgr.recover(*wl);
+    EXPECT_TRUE(out.resumable());
+    EXPECT_EQ(out.status, RecoveryStatus::Clean);
+    EXPECT_EQ(out.repairs, 0u);
+    EXPECT_TRUE(out.verify.consistent());
+}
+
+TEST(DegenerateCrash, EmptyImageIsStructuredUnrecoverable)
+{
+    System sys(smallCfg(PersistMode::BbbMemSide));
+    auto wl = makeWorkload("hashmap", smallParams());
+    wl->install(sys);
+
+    BackingStore empty; // never booted: no heap magic, all zeros
+    RecoveryManager mgr(empty, sys.addrMap(), 2);
+    RecoverOutcome out = mgr.recover(*wl);
+    EXPECT_FALSE(out.resumable());
+    EXPECT_EQ(out.status, RecoveryStatus::Unrecoverable);
+    EXPECT_FALSE(out.detail.empty());
+}
+
+TEST(DegenerateCrash, FirstPersistingStoresSurviveCrash)
+{
+    // Crash within the first handful of cycles: at most the opening
+    // stores of the first operation are in flight.
+    for (Tick tick : {Tick(1), Tick(10), Tick(100), Tick(1000)}) {
+        System sys(smallCfg(PersistMode::BbbProcSide));
+        auto wl = makeWorkload("skiplist", smallParams());
+        wl->install(sys);
+        sys.runAndCrashAt(tick);
+
+        BackingStore raw = sys.image().clone();
+        RecoveryManager mgr(raw, sys.addrMap(), 2);
+        RecoverOutcome out = mgr.recover(*wl);
+        EXPECT_TRUE(out.resumable()) << "crash at tick " << tick;
+        EXPECT_TRUE(out.verify.consistent()) << "crash at tick " << tick;
+    }
+}
+
+TEST(DegenerateCrash, SecondCrashMidResumeStaysSound)
+{
+    // Rounds 1 and 2 reseed from the recovered image and crash again
+    // almost immediately — often before resume() completes one op.
+    LifetimeSample s;
+    s.cfg = smallCfg(PersistMode::BbbMemSide);
+    s.workload = "linkedlist";
+    s.params = smallParams();
+    s.plan = FaultPlan::parse("none");
+    s.plan_name = "none";
+    s.seed = 0xd15ea5e;
+    s.rounds = 3;
+    s.min_crash_tick = 1;
+    s.max_crash_tick = nsToTicks(3000);
+
+    LifetimeResult r = runLifetimeSample(s);
+    EXPECT_NE(r.outcome, LifetimeOutcome::OracleViolation)
+        << (r.firstViolation() ? r.firstViolation()->detail : "");
+    ASSERT_EQ(r.round_log.size(), 3u);
+    for (const LifetimeRound &rr : r.round_log)
+        EXPECT_NE(rr.recovery, RecoveryStatus::Unrecoverable);
+}
+
+TEST(Watchdog, KillsHungJobWithReproLine)
+{
+    EXPECT_EXIT(
+        {
+            setenv("BBB_JOB_TIMEOUT_S", "1", 1);
+            runIndexedJobs(
+                1,
+                [](std::size_t) {
+                    // Hang long enough for the 1 s watchdog; bounded so
+                    // a broken watchdog fails the test instead of
+                    // wedging it.
+                    for (int i = 0; i < 600; ++i)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(50));
+                },
+                1,
+                [](std::size_t) {
+                    return std::string("hung-lifetime-repro");
+                });
+        },
+        ::testing::ExitedWithCode(1), "hung-lifetime-repro");
+}
