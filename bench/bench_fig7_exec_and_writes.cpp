@@ -21,7 +21,19 @@ main(int argc, char **argv)
 {
     bool fast = bbbench::fastMode(argc, argv);
     unsigned jobs = bbbench::jobsArg(argc, argv);
+    std::string json = bbbench::jsonPathArg(argc, argv);
     WorkloadParams params = bbbench::shapedParams(fast, 4000, 100000);
+
+    BenchReport rep("fig7_exec_and_writes");
+    rep.setConfig("fast", fast);
+    rep.setConfig("ops_per_thread", params.ops_per_thread);
+    rep.setConfig("initial_elements", params.initial_elements);
+    rep.setConfig("array_elements", params.array_elements);
+    rep.paperRef("exec_time_x.bbb32.avg", 1.01);
+    rep.paperRef("exec_time_x.bbb32.worst", 1.028);
+    rep.paperRef("nvmm_writes_x.bbb32.avg", 1.049);
+    rep.paperRef("nvmm_writes_x.bbb32.worst", 1.079);
+    rep.paperRef("nvmm_writes_x.bbb1024.max", 1.01);
 
     // The full 3-modes x 7-workloads grid goes through the pool at once.
     auto workloads = bbbench::paperWorkloads();
@@ -33,7 +45,9 @@ main(int argc, char **argv)
         specs.push_back(
             {benchConfig(PersistMode::BbbMemSide, 1024), name, params});
     }
-    std::vector<ExperimentResult> results = bbbench::runGrid(specs, jobs);
+    std::vector<ExperimentResult> results =
+        bbbench::runGrid(specs, jobs, &rep);
+    bbbench::reportExperiments(rep, results, /*with_entries=*/true);
 
     bbbench::banner("Figure 7: execution time and NVMM writes, "
                     "BBB-32 / BBB-1024 / eADR (normalized to eADR)");
@@ -58,9 +72,23 @@ main(int argc, char **argv)
         writes32.push_back(w32);
         writes1024.push_back(w1024);
 
+        rep.measured().setReal("exec_time_x.bbb32." + name, t32);
+        rep.measured().setReal("exec_time_x.bbb1024." + name, t1024);
+        rep.measured().setReal("nvmm_writes_x.bbb32." + name, w32);
+        rep.measured().setReal("nvmm_writes_x.bbb1024." + name, w1024);
+
         std::printf("%-10s | %9.3f %9.3f %9.3f | %9.3f %9.3f %9.3f\n",
                     name.c_str(), t32, t1024, 1.0, w32, w1024, 1.0);
     }
+
+    rep.measured().setReal("exec_time_x.bbb32.geomean",
+                           bbbench::geomean(time32));
+    rep.measured().setReal("exec_time_x.bbb1024.geomean",
+                           bbbench::geomean(time1024));
+    rep.measured().setReal("nvmm_writes_x.bbb32.geomean",
+                           bbbench::geomean(writes32));
+    rep.measured().setReal("nvmm_writes_x.bbb1024.geomean",
+                           bbbench::geomean(writes1024));
 
     std::printf("%-10s | %9.3f %9.3f %9.3f | %9.3f %9.3f %9.3f\n",
                 "geomean", bbbench::geomean(time32),
@@ -70,5 +98,6 @@ main(int argc, char **argv)
     std::printf("\nPaper: BBB-32 avg ~1.01x time (worst 1.028x), "
                 "avg 1.049x writes (range 1.01-1.079x);\n"
                 "       BBB-1024 ~1.00x time, <1.01x writes.\n");
+    rep.emitIfRequested(json);
     return 0;
 }

@@ -26,9 +26,16 @@ main(int argc, char **argv)
 {
     bool fast = bbbench::fastMode(argc, argv);
     unsigned jobs = bbbench::jobsArg(argc, argv);
+    std::string json = bbbench::jsonPathArg(argc, argv);
     // Smaller structures than Fig. 7: this sweep is about bbPB pressure,
     // and 11 sizes x 7 workloads must simulate in minutes.
     WorkloadParams params = bbbench::shapedParams(fast, 2000, 20000);
+
+    BenchReport rep("fig8_sensitivity");
+    rep.setConfig("fast", fast);
+    rep.setConfig("ops_per_thread", params.ops_per_thread);
+    rep.setConfig("initial_elements", params.initial_elements);
+    rep.setConfig("array_elements", params.array_elements);
 
     const std::vector<unsigned> sizes = {1, 2, 4, 8, 16, 32,
                                          64, 128, 256, 512, 1024};
@@ -43,7 +50,9 @@ main(int argc, char **argv)
                 {benchConfig(PersistMode::BbbMemSide, s), name, params});
         }
     }
-    std::vector<ExperimentResult> results = bbbench::runGrid(specs, jobs);
+    std::vector<ExperimentResult> results =
+        bbbench::runGrid(specs, jobs, &rep);
+    bbbench::reportExperiments(rep, results, /*with_entries=*/true);
 
     // result[size] = {rejections, exec, drains} geomean inputs
     std::map<unsigned, std::vector<double>> rej, exec, drains;
@@ -76,8 +85,16 @@ main(int argc, char **argv)
         std::printf("%8u %18.4f %18.4f %18.4f\n", s,
                     bbbench::geomean(rej[s]), bbbench::geomean(exec[s]),
                     bbbench::geomean(drains[s]));
+        std::string suffix = ".bbpb" + std::to_string(s);
+        rep.measured().setReal("rejections_x" + suffix,
+                               bbbench::geomean(rej[s]));
+        rep.measured().setReal("exec_time_x" + suffix,
+                               bbbench::geomean(exec[s]));
+        rep.measured().setReal("drains_x" + suffix,
+                               bbbench::geomean(drains[s]));
     }
     std::printf("\nPaper: rejections ~0 by 16-32 entries; execution time "
                 "flat after 32; drains flat after 64.\n");
+    rep.emitIfRequested(json);
     return 0;
 }

@@ -10,8 +10,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "api/cli.hh"
+#include "api/report.hh"
 #include "api/system.hh"
 #include "cache/cache_array.hh"
 #include "cache/hierarchy.hh"
@@ -128,17 +131,60 @@ BENCHMARK(BM_EndToEndSimulatedStores)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
+namespace
+{
+
+/** Forwards to the console reporter while recording each run into the
+ *  structured report. Microbench results are host timings, so they are
+ *  omitted in canonical mode to keep the document byte-stable. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit CaptureReporter(bbb::BenchReport &rep) : _rep(rep) {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        if (!bbb::reportCanonicalMode()) {
+            for (const Run &run : runs) {
+                if (run.error_occurred || run.iterations == 0)
+                    continue;
+                std::string key = run.benchmark_name();
+                for (char &c : key)
+                    if (c == '/' || c == ':')
+                        c = '.';
+                _rep.measured().setCount(
+                    key + ".iterations",
+                    static_cast<std::uint64_t>(run.iterations));
+                _rep.measured().setReal(
+                    key + ".real_time_per_iter_s",
+                    run.real_accumulated_time /
+                        static_cast<double>(run.iterations));
+            }
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    bbb::BenchReport &_rep;
+};
+
+} // namespace
+
 // Custom main instead of BENCHMARK_MAIN(): the bench_smoke ctest driver
-// passes the harness-wide `--fast --jobs N` flags to every bench binary,
-// and google-benchmark rejects flags it does not know.
+// passes the harness-wide `--fast --jobs N --json P` flags to every bench
+// binary, and google-benchmark rejects flags it does not know.
 int
 main(int argc, char **argv)
 {
+    std::string json = bbb::cli::jsonPathArg(argc, argv);
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
         if (std::strcmp(argv[i], "--fast") == 0)
             continue;
-        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        if ((std::strcmp(argv[i], "--jobs") == 0 ||
+             std::strcmp(argv[i], "--json") == 0) &&
+            i + 1 < argc) {
             ++i;
             continue;
         }
@@ -149,6 +195,13 @@ main(int argc, char **argv)
     benchmark::Initialize(&kept, args.data());
     if (benchmark::ReportUnrecognizedArguments(kept, args.data()))
         return 1;
-    benchmark::RunSpecifiedBenchmarks();
+
+    bbb::BenchReport rep("micro");
+    rep.setConfig("harness", "google-benchmark");
+    CaptureReporter reporter(rep);
+    double secs = bbb::timedSeconds(
+        [&] { benchmark::RunSpecifiedBenchmarks(&reporter); });
+    rep.noteRun(secs, 1);
+    rep.emitIfRequested(json);
     return 0;
 }

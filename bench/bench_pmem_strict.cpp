@@ -24,7 +24,12 @@ main(int argc, char **argv)
 {
     bool fast = bbbench::fastMode(argc, argv);
     unsigned jobs = bbbench::jobsArg(argc, argv);
+    std::string json = bbbench::jsonPathArg(argc, argv);
     WorkloadParams params = bbbench::shapedParams(fast, 4000, 100000);
+
+    BenchReport rep("pmem_strict");
+    rep.setConfig("fast", fast);
+    rep.setConfig("ops_per_thread", std::uint64_t{params.ops_per_thread});
 
     auto workloads = bbbench::paperWorkloads();
     SystemConfig strict_cfg = benchConfig(PersistMode::AdrPmem);
@@ -39,7 +44,8 @@ main(int argc, char **argv)
         specs.push_back({benchConfig(PersistMode::AdrPmem), name, params});
         specs.push_back({strict_cfg, name, params});
     }
-    std::vector<ExperimentResult> results = bbbench::runGrid(specs, jobs);
+    std::vector<ExperimentResult> results =
+        bbbench::runGrid(specs, jobs, &rep);
 
     bbbench::banner("Table I ablation: strict-persistency penalty, "
                     "PMEM flush+fence vs BBB (time normalized to eADR)");
@@ -65,11 +71,27 @@ main(int argc, char **argv)
         strict.push_back(ts);
         std::printf("%-10s | %10.3f %10.3f %12.3f %12.3f\n", name.c_str(),
                     tu, tb, te, ts);
+        rep.measured().setReal("exec_time_x.unsafe." + name, tu);
+        rep.measured().setReal("exec_time_x.bbb32." + name, tb);
+        rep.measured().setReal("exec_time_x.pmem_epoch." + name, te);
+        rep.measured().setReal("exec_time_x.pmem_strict." + name, ts);
+        rep.addExperiment(name + "/eadr", eadr.metrics);
+        rep.addExperiment(name + "/adr-unsafe", unsafe.metrics);
+        rep.addExperiment(name + "/bbb-mem", b32.metrics);
+        rep.addExperiment(name + "/pmem-epoch", pe.metrics);
+        rep.addExperiment(name + "/pmem-strict", ps.metrics);
     }
     std::printf("%-10s | %10.3f %10.3f %12.3f %12.3f\n", "geomean", 1.0,
                 bbbench::geomean(bbb), bbbench::geomean(epoch),
                 bbbench::geomean(strict));
+    rep.measured().setReal("exec_time_x.bbb32.geomean",
+                           bbbench::geomean(bbb));
+    rep.measured().setReal("exec_time_x.pmem_epoch.geomean",
+                           bbbench::geomean(epoch));
+    rep.measured().setReal("exec_time_x.pmem_strict.geomean",
+                           bbbench::geomean(strict));
     std::printf("\nExpected ordering: BBB pays ~nothing for strict "
                 "persistency; PMEM pays for every flush+fence.\n");
+    rep.emitIfRequested(json);
     return 0;
 }

@@ -27,7 +27,15 @@ main(int argc, char **argv)
 {
     bool fast = bbbench::fastMode(argc, argv);
     unsigned jobs = bbbench::jobsArg(argc, argv);
+    std::string json = bbbench::jsonPathArg(argc, argv);
     WorkloadParams params = bbbench::shapedParams(fast, 4000, 100000);
+
+    BenchReport rep("procside_writes");
+    rep.setConfig("fast", fast);
+    rep.setConfig("bbpb_entries", std::uint64_t{32});
+    rep.setConfig("ops_per_thread", std::uint64_t{params.ops_per_thread});
+    rep.paperRef("drain_writes_x.procside.avg", 2.8);
+    rep.paperRef("media_writes_x.memside.avg", 1.049);
 
     auto workloads = bbbench::paperWorkloads();
     std::vector<ExperimentSpec> specs;
@@ -38,7 +46,8 @@ main(int argc, char **argv)
         specs.push_back(
             {benchConfig(PersistMode::BbbProcSide, 32), name, params});
     }
-    std::vector<ExperimentResult> results = bbbench::runGrid(specs, jobs);
+    std::vector<ExperimentResult> results =
+        bbbench::runGrid(specs, jobs, &rep);
 
     bbbench::banner("Section V-C: processor-side vs memory-side bbPB "
                     "(normalized to eADR writes)");
@@ -68,11 +77,27 @@ main(int argc, char **argv)
         std::printf("%-10s | %12.3f %12.3f | %12.3f %12.3f | %10llu\n",
                     name.c_str(), mm, pm, md, pd,
                     (unsigned long long)proc.bbpb_rejections);
+        rep.measured().setReal("media_writes_x.memside." + name, mm);
+        rep.measured().setReal("media_writes_x.procside." + name, pm);
+        rep.measured().setReal("drain_writes_x.memside." + name, md);
+        rep.measured().setReal("drain_writes_x.procside." + name, pd);
+        rep.addExperiment(name + "/eadr", eadr.metrics);
+        rep.addExperiment(name + "/bbb-mem", mem.metrics);
+        rep.addExperiment(name + "/bbb-proc", proc.metrics);
     }
     std::printf("%-10s | %12.3f %12.3f | %12.3f %12.3f |\n", "geomean",
                 bbbench::geomean(mem_media), bbbench::geomean(proc_media),
                 bbbench::geomean(mem_drain), bbbench::geomean(proc_drain));
+    rep.measured().setReal("media_writes_x.memside.geomean",
+                           bbbench::geomean(mem_media));
+    rep.measured().setReal("media_writes_x.procside.geomean",
+                           bbbench::geomean(proc_media));
+    rep.measured().setReal("drain_writes_x.memside.geomean",
+                           bbbench::geomean(mem_drain));
+    rep.measured().setReal("drain_writes_x.procside.geomean",
+                           bbbench::geomean(proc_drain));
     std::printf("\nPaper: processor-side ~2.8x eADR writes on average; "
                 "memory-side +4.9%%.\n");
+    rep.emitIfRequested(json);
     return 0;
 }

@@ -28,7 +28,7 @@ struct PaperRow
 };
 
 void
-row(const PlatformSpec &platform, const PaperRow &paper)
+row(const PlatformSpec &platform, const PaperRow &paper, BenchReport &rep)
 {
     DrainCostModel model(platform);
     double eadr_j = model.eadrDrainEnergyJ();
@@ -37,20 +37,31 @@ row(const PlatformSpec &platform, const PaperRow &paper)
                 "%6.0fx\n",
                 platform.name.c_str(), eadr_j * 1e3, bbb_j * 1e6,
                 eadr_j / bbb_j, paper.eadr, paper.bbb, paper.ratio);
+    const std::string &p = platform.name;
+    rep.measured().setReal(p + ".eadr_mj", eadr_j * 1e3);
+    rep.measured().setReal(p + ".bbb_uj", bbb_j * 1e6);
+    rep.measured().setReal(p + ".ratio", eadr_j / bbb_j);
+    rep.paperRef(p + ".eadr_mj", paper.eadr);
+    rep.paperRef(p + ".bbb_uj", paper.bbb);
+    rep.paperRef(p + ".ratio", paper.ratio);
 }
 
 } // namespace
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
+    BenchReport rep("table7_drain_energy");
+    rep.setConfig("bbpb_entries", std::uint64_t{32});
+
     bbbench::banner("Table VII: draining energy, eADR (avg, 44.9% dirty) "
                     "vs BBB-32 (worst case)");
     std::printf("%-8s | %33s | %26s\n", "system", "ours (eADR, BBB, ratio)",
                 "paper (eADR, BBB, ratio)");
-    row(mobilePlatform(), {46.5, 145.0, 320.0});
-    row(serverPlatform(), {550.0, 775.0, 709.0});
+    row(mobilePlatform(), {46.5, 145.0, 320.0}, rep);
+    row(serverPlatform(), {550.0, 775.0, 709.0}, rep);
     std::printf("\nModel: Table VI constants (1 pJ/B SRAM access; "
                 "11.839 nJ/B L1/bbPB->NVMM; 11.228 nJ/B L2/L3->NVMM).\n");
+    rep.emitIfRequested(bbbench::jsonPathArg(argc, argv));
     return 0;
 }

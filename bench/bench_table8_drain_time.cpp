@@ -20,7 +20,7 @@ namespace
 
 void
 row(const PlatformSpec &platform, double paper_eadr_ms, double paper_bbb_us,
-    double paper_ratio)
+    double paper_ratio, BenchReport &rep)
 {
     DrainCostModel model(platform);
     double eadr_s = model.eadrDrainTimeS();
@@ -29,20 +29,31 @@ row(const PlatformSpec &platform, double paper_eadr_ms, double paper_bbb_us,
                 "%5.0fx\n",
                 platform.name.c_str(), eadr_s * 1e3, bbb_s * 1e6,
                 eadr_s / bbb_s, paper_eadr_ms, paper_bbb_us, paper_ratio);
+    const std::string &p = platform.name;
+    rep.measured().setReal(p + ".eadr_ms", eadr_s * 1e3);
+    rep.measured().setReal(p + ".bbb_us", bbb_s * 1e6);
+    rep.measured().setReal(p + ".ratio", eadr_s / bbb_s);
+    rep.paperRef(p + ".eadr_ms", paper_eadr_ms);
+    rep.paperRef(p + ".bbb_us", paper_bbb_us);
+    rep.paperRef(p + ".ratio", paper_ratio);
 }
 
 } // namespace
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
+    BenchReport rep("table8_drain_time");
+    rep.setConfig("bbpb_entries", std::uint64_t{32});
+
     bbbench::banner(
         "Table VIII: draining time, eADR (avg dirty) vs BBB-32");
     std::printf("%-8s | %31s | %24s\n", "system", "ours (eADR, BBB, ratio)",
                 "paper (eADR, BBB, ratio)");
-    row(mobilePlatform(), 0.8, 2.6, 307.0);
-    row(serverPlatform(), 1.8, 2.4, 750.0);
+    row(mobilePlatform(), 0.8, 2.6, 307.0, rep);
+    row(serverPlatform(), 1.8, 2.4, 750.0, rep);
     std::printf("\nModel: 2.3 GB/s NVMM write bandwidth per channel "
                 "(Izraelevitz et al.), all channels drain in parallel.\n");
+    rep.emitIfRequested(bbbench::jsonPathArg(argc, argv));
     return 0;
 }

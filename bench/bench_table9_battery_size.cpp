@@ -22,7 +22,7 @@ namespace
 {
 
 void
-rows(const PlatformSpec &platform)
+rows(const PlatformSpec &platform, BenchReport &rep)
 {
     DrainCostModel model(platform);
     for (bool bbb : {false, true}) {
@@ -33,6 +33,12 @@ rows(const PlatformSpec &platform)
                         platform.name.c_str(), bbb ? "BBB" : "eADR",
                         batteryTechName(t), vol,
                         model.areaRatioToCore(vol) * 100.0);
+            std::string key = platform.name;
+            key += bbb ? ".bbb." : ".eadr.";
+            key += batteryTechName(t);
+            rep.measured().setReal(key + ".volume_mm3", vol);
+            rep.measured().setReal(key + ".area_ratio",
+                                   model.areaRatioToCore(vol));
         }
     }
 }
@@ -40,19 +46,31 @@ rows(const PlatformSpec &platform)
 } // namespace
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
+    BenchReport rep("table9_battery_size");
+    rep.setConfig("bbpb_entries", std::uint64_t{32});
+    rep.paperRef("mobile.eadr.SuperCap.volume_mm3", 2.9e3);
+    rep.paperRef("mobile.eadr.Li-thin.volume_mm3", 30.0);
+    rep.paperRef("mobile.bbb.SuperCap.volume_mm3", 4.1);
+    rep.paperRef("mobile.bbb.Li-thin.volume_mm3", 0.04);
+    rep.paperRef("server.eadr.SuperCap.volume_mm3", 34e3);
+    rep.paperRef("server.eadr.Li-thin.volume_mm3", 300.0);
+    rep.paperRef("server.bbb.SuperCap.volume_mm3", 21.6);
+    rep.paperRef("server.bbb.Li-thin.volume_mm3", 0.21);
+
     bbbench::banner("Table IX: battery volume and footprint-to-core ratio "
                     "(worst-case provisioning)");
     std::printf("%-8s %-5s %-9s %14s %18s\n", "system", "scheme", "tech",
                 "volume (mm^3)", "area/core (%)");
-    rows(mobilePlatform());
-    rows(serverPlatform());
+    rows(mobilePlatform(), rep);
+    rows(serverPlatform(), rep);
     std::printf("\nPaper: mobile eADR 2.9e3/30 mm^3 (77x/3.6x core), "
                 "BBB 4.1/0.04 mm^3 (97.2%%/4.5%%);\n"
                 "       server eADR 34e3/300 mm^3 (404x/18.7x core), "
                 "BBB 21.6/0.21 mm^3 (296%%/13.7%%).\n"
                 "Densities: SuperCap 1e-4 Wh/cm^3, Li-thin 1e-2 Wh/cm^3; "
                 "10x provisioning margin.\n");
+    rep.emitIfRequested(bbbench::jsonPathArg(argc, argv));
     return 0;
 }

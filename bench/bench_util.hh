@@ -15,14 +15,24 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "api/cli.hh"
 #include "api/experiment.hh"
+#include "api/report.hh"
 
 namespace bbbench
 {
+
+// Flag parsing is shared with the examples (api/cli.hh); the old names
+// keep working for the bench binaries.
+using bbb::cli::fastMode;
+using bbb::cli::hasFlag;
+using bbb::cli::jobsArg;
+using bbb::cli::jsonPathArg;
+using bbb::cli::splitList;
+using bbb::cli::stringOpt;
 
 /** The Table IV workload list used by Fig. 7 / Fig. 8. */
 inline std::vector<std::string>
@@ -32,43 +42,15 @@ paperWorkloads()
             "mutateC", "swapNC", "swapC"};
 }
 
-/** True if `--fast` appears on the command line. */
-inline bool
-fastMode(int argc, char **argv)
-{
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--fast") == 0)
-            return true;
-    }
-    return false;
-}
-
-/**
- * Worker-pool width for the experiment grid: `--jobs N` on the command
- * line, else the BBB_JOBS environment variable, else 0 (= hardware
- * concurrency, resolved by runExperiments).
- */
-inline unsigned
-jobsArg(int argc, char **argv)
-{
-    const char *value = nullptr;
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--jobs") == 0)
-            value = argv[i + 1]; // last occurrence wins, like most CLIs
-    }
-    if (!value)
-        value = std::getenv("BBB_JOBS");
-    return value ? static_cast<unsigned>(std::strtoul(value, nullptr, 10))
-                 : 0;
-}
-
 /**
  * Submit a full bench grid to the experiment pool and report wall-clock,
  * so CI logs show what the pool buys. Results are in submission order
- * and bit-identical to a serial run (see runExperiments).
+ * and bit-identical to a serial run (see runExperiments). When @p rep is
+ * given, the wall clock and jobs width land in its host section.
  */
 inline std::vector<bbb::ExperimentResult>
-runGrid(const std::vector<bbb::ExperimentSpec> &specs, unsigned jobs)
+runGrid(const std::vector<bbb::ExperimentSpec> &specs, unsigned jobs,
+        bbb::BenchReport *rep = nullptr)
 {
     auto start = std::chrono::steady_clock::now();
     std::vector<bbb::ExperimentResult> results =
@@ -81,7 +63,37 @@ runGrid(const std::vector<bbb::ExperimentSpec> &specs, unsigned jobs)
         effective = static_cast<unsigned>(specs.size());
     std::printf("[grid] %zu points on %u jobs: %.2f s wall\n",
                 specs.size(), effective, secs);
+    if (rep)
+        rep->noteRun(secs, effective);
     return results;
+}
+
+/** `workload/mode[/bbpbN]` experiment label for report documents. */
+inline std::string
+experimentLabel(const bbb::ExperimentResult &r, bool with_entries = false)
+{
+    std::string label = r.workload;
+    label += '/';
+    label += bbb::persistModeName(r.mode);
+    if (with_entries) {
+        label += "/bbpb";
+        label += std::to_string(r.bbpb_entries);
+    }
+    return label;
+}
+
+/**
+ * Append every grid result to @p rep as a labelled experiment entry.
+ * Labels follow grid submission order; metrics are the runs' full
+ * System::snapshotMetrics trees.
+ */
+inline void
+reportExperiments(bbb::BenchReport &rep,
+                  const std::vector<bbb::ExperimentResult> &results,
+                  bool with_entries = false)
+{
+    for (const bbb::ExperimentResult &r : results)
+        rep.addExperiment(experimentLabel(r, with_entries), r.metrics);
 }
 
 /** Bench workload shape, honoring --fast. */

@@ -17,7 +17,7 @@
  * Usage:
  *   fault_campaign [--workloads NAME[,NAME...]] [--points N] [--ops N]
  *                  [--initial N] [--campaign-seed N] [--jobs N]
- *                  [--battery-fraction F] [--verbose]
+ *                  [--battery-fraction F] [--verbose] [--json PATH]
  *   fault_campaign --workload NAME --seed S --crash-tick T
  *                  --fault-plan PLAN
  *
@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "api/cli.hh"
+#include "api/report.hh"
 #include "fault/campaign.hh"
 
 using namespace bbb;
@@ -44,7 +46,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--workloads NAME[,NAME...]] [--points N] [--ops N]\n"
         "          [--initial N] [--campaign-seed N] [--jobs N]\n"
-        "          [--battery-fraction F] [--verbose]\n"
+        "          [--battery-fraction F] [--verbose] [--json PATH]\n"
         "   or: %s --workload NAME --seed S --crash-tick T --fault-plan P\n"
         "plans: none",
         argv0, argv0);
@@ -73,22 +75,6 @@ campaignCfg()
     return cfg;
 }
 
-std::vector<std::string>
-splitNames(const std::string &arg)
-{
-    std::vector<std::string> names;
-    std::size_t start = 0;
-    while (start <= arg.size()) {
-        std::size_t comma = arg.find(',', start);
-        if (comma == std::string::npos)
-            comma = arg.size();
-        if (comma > start)
-            names.push_back(arg.substr(start, comma - start));
-        start = comma + 1;
-    }
-    return names;
-}
-
 } // namespace
 
 int
@@ -108,6 +94,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     bool verbose = false;
     double battery_fraction = 0.0;
+    std::string json_path;
 
     // Replay flags (presence of --crash-tick selects replay mode).
     std::string replay_workload;
@@ -124,7 +111,7 @@ main(int argc, char **argv)
             return argv[i];
         };
         if (arg == "--workloads") {
-            spec.workloads = splitNames(next());
+            spec.workloads = bbb::cli::splitList(next());
         } else if (arg == "--points") {
             spec.crash_points = static_cast<unsigned>(
                 std::strtoul(next().c_str(), nullptr, 10));
@@ -143,6 +130,8 @@ main(int argc, char **argv)
             battery_fraction = std::strtod(next().c_str(), nullptr);
         } else if (arg == "--verbose") {
             verbose = true;
+        } else if (arg == "--json") {
+            json_path = next();
         } else if (arg == "--workload") {
             replay_workload = next();
         } else if (arg == "--seed") {
@@ -208,7 +197,9 @@ main(int argc, char **argv)
         spec.plans.push_back(np);
     }
 
-    CampaignSummary summary = runCrashCampaign(spec, jobs);
+    CampaignSummary summary;
+    double secs = timedSeconds(
+        [&] { summary = runCrashCampaign(spec, jobs); });
 
     if (verbose) {
         for (const CrashSampleResult &r : summary.results) {
@@ -225,6 +216,25 @@ main(int argc, char **argv)
                 (unsigned long long)summary.clean,
                 (unsigned long long)summary.degraded,
                 (unsigned long long)summary.violations);
+
+    if (!json_path.empty()) {
+        BenchReport rep("fault_campaign");
+        std::string names;
+        for (const std::string &w : spec.workloads)
+            names += (names.empty() ? "" : ",") + w;
+        rep.setConfig("workloads", names);
+        rep.setConfig("crash_points", std::uint64_t{spec.crash_points});
+        rep.setConfig("ops_per_thread",
+                      std::uint64_t{spec.params.ops_per_thread});
+        rep.setConfig("initial_elements",
+                      std::uint64_t{spec.params.initial_elements});
+        rep.setConfig("campaign_seed", std::uint64_t{spec.campaign_seed});
+        rep.setConfig("bbpb_entries", std::uint64_t{spec.base.bbpb.entries});
+        rep.measured().merge(summary.metrics, "");
+        rep.noteRun(secs, jobs);
+        rep.writeFile(json_path);
+    }
+
     if (const CrashSampleResult *bug = summary.firstViolation()) {
         std::printf("VIOLATION repro: %s %s\n", argv[0],
                     bug->reproLine().c_str());

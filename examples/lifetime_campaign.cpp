@@ -20,7 +20,7 @@
  *   lifetime_campaign [--workloads NAME[,NAME...]] [--modes M[,M...]]
  *                     [--plans P[,P...]] [--rounds K] [--lifetimes N]
  *                     [--ops N] [--initial N] [--campaign-seed N]
- *                     [--jobs N] [--verbose]
+ *                     [--jobs N] [--verbose] [--json PATH]
  *   lifetime_campaign --workload NAME --mode M --seed S --rounds K
  *                     --fault-plan P
  *
@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "api/cli.hh"
+#include "api/report.hh"
 #include "recover/lifetime.hh"
 
 using namespace bbb;
@@ -47,7 +49,7 @@ usage(const char *argv0)
         "usage: %s [--workloads NAME[,NAME...]] [--modes M[,M...]]\n"
         "          [--plans P[,P...]] [--rounds K] [--lifetimes N]\n"
         "          [--ops N] [--initial N] [--campaign-seed N] [--jobs N]\n"
-        "          [--verbose]\n"
+        "          [--verbose] [--json PATH]\n"
         "   or: %s --workload NAME --mode M --seed S --rounds K "
         "--fault-plan P\n",
         argv0, argv0);
@@ -70,22 +72,6 @@ campaignCfg()
     return cfg;
 }
 
-std::vector<std::string>
-splitNames(const std::string &arg)
-{
-    std::vector<std::string> names;
-    std::size_t start = 0;
-    while (start <= arg.size()) {
-        std::size_t comma = arg.find(',', start);
-        if (comma == std::string::npos)
-            comma = arg.size();
-        if (comma > start)
-            names.push_back(arg.substr(start, comma - start));
-        start = comma + 1;
-    }
-    return names;
-}
-
 /**
  * Resolve --plans tokens: comma-separated preset names (multi-pair
  * key=value plans contain commas themselves — replay those one at a
@@ -95,7 +81,7 @@ std::vector<NamedFaultPlan>
 parsePlans(const std::string &arg)
 {
     std::vector<NamedFaultPlan> plans;
-    for (const std::string &name : splitNames(arg))
+    for (const std::string &name : bbb::cli::splitList(arg))
         plans.push_back({name, FaultPlan::parse(name)});
     return plans;
 }
@@ -119,6 +105,7 @@ main(int argc, char **argv)
 
     unsigned jobs = 0;
     bool verbose = false;
+    std::string json_path;
 
     // Replay flags (presence of --seed selects replay mode).
     std::string replay_workload;
@@ -135,10 +122,10 @@ main(int argc, char **argv)
             return argv[i];
         };
         if (arg == "--workloads") {
-            spec.workloads = splitNames(next());
+            spec.workloads = bbb::cli::splitList(next());
         } else if (arg == "--modes") {
             spec.modes.clear();
-            for (const std::string &m : splitNames(next()))
+            for (const std::string &m : bbb::cli::splitList(next()))
                 spec.modes.push_back(persistModeFromName(m));
         } else if (arg == "--plans") {
             spec.plans = parsePlans(next());
@@ -161,6 +148,8 @@ main(int argc, char **argv)
                 std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--verbose") {
             verbose = true;
+        } else if (arg == "--json") {
+            json_path = next();
         } else if (arg == "--workload") {
             replay_workload = next();
         } else if (arg == "--mode") {
@@ -215,7 +204,9 @@ main(int argc, char **argv)
         return r.outcome == LifetimeOutcome::OracleViolation ? 1 : 0;
     }
 
-    LifetimeSummary summary = runLifetimeCampaign(spec, jobs);
+    LifetimeSummary summary;
+    double secs = timedSeconds(
+        [&] { summary = runLifetimeCampaign(spec, jobs); });
 
     if (verbose) {
         for (const LifetimeResult &r : summary.results) {
@@ -233,6 +224,26 @@ main(int argc, char **argv)
                 (unsigned long long)summary.clean,
                 (unsigned long long)summary.degraded,
                 (unsigned long long)summary.violations);
+
+    if (!json_path.empty()) {
+        BenchReport rep("lifetime_campaign");
+        std::string names;
+        for (const std::string &w : spec.workloads)
+            names += (names.empty() ? "" : ",") + w;
+        rep.setConfig("workloads", names);
+        rep.setConfig("rounds", std::uint64_t{spec.rounds});
+        rep.setConfig("lifetimes", std::uint64_t{spec.lifetimes});
+        rep.setConfig("ops_per_thread",
+                      std::uint64_t{spec.params.ops_per_thread});
+        rep.setConfig("initial_elements",
+                      std::uint64_t{spec.params.initial_elements});
+        rep.setConfig("campaign_seed", std::uint64_t{spec.campaign_seed});
+        rep.setConfig("bbpb_entries", std::uint64_t{spec.base.bbpb.entries});
+        rep.measured().merge(summary.metrics, "");
+        rep.noteRun(secs, jobs);
+        rep.writeFile(json_path);
+    }
+
     if (const LifetimeResult *bug = summary.firstViolation()) {
         std::printf("VIOLATION repro: %s %s\n", argv[0],
                     bug->reproLine().c_str());

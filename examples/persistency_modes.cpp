@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "api/cli.hh"
 #include "api/experiment.hh"
 #include "api/system.hh"
 
@@ -60,11 +61,9 @@ main(int argc, char **argv)
     std::printf("%-30s %14s %12s %11s %11s %11s\n", "scheme", "exec(us)",
                 "nvmm_writes", "rejections", "coalesces", "stalls(us)");
 
-    // The whole mode tour is one independent grid; BBB_JOBS picks the
-    // pool width (0 = hardware concurrency).
-    unsigned jobs = 0;
-    if (const char *env = std::getenv("BBB_JOBS"))
-        jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    // The whole mode tour is one independent grid; --jobs or BBB_JOBS
+    // picks the pool width (0 = hardware concurrency).
+    unsigned jobs = bbb::cli::jobsArg(argc, argv);
     std::vector<ExperimentSpec> specs;
     for (const ModePoint &pt : points) {
         SystemConfig cfg = benchConfig(pt.mode, pt.bbpb_entries

@@ -10,7 +10,7 @@
  *   run_experiment [--workload NAME[,NAME...]|all] [--mode MODE]
  *                  [--entries N] [--ops N] [--initial N] [--threshold F]
  *                  [--policy fcfs|lrw|random] [--jobs N] [--stats]
- *                  [--trace FILE]
+ *                  [--trace FILE] [--json PATH]
  *
  * Modes: adr-unsafe, adr-pmem, pmem-strict, eadr, bbb-mem-side,
  *        bbb-proc-side.
@@ -28,7 +28,9 @@
 #include <string>
 #include <vector>
 
+#include "api/cli.hh"
 #include "api/experiment.hh"
+#include "api/report.hh"
 #include "api/system.hh"
 #include "api/trace.hh"
 
@@ -44,7 +46,8 @@ usage(const char *argv0)
                  "usage: %s [--workload NAME[,NAME...]|all] [--mode MODE]\n"
                  "          [--entries N] [--ops N] [--initial N]\n"
                  "          [--threshold F] [--policy fcfs|lrw|random]\n"
-                 "          [--jobs N] [--stats] [--trace FILE]\n\n"
+                 "          [--jobs N] [--stats] [--trace FILE]"
+                 " [--json PATH]\n\n"
                  "workloads:",
                  argv0);
     for (const auto &name : workloadNames())
@@ -92,17 +95,7 @@ parseWorkloads(const std::string &arg)
 {
     if (arg == "all")
         return workloadNames();
-    std::vector<std::string> names;
-    std::size_t start = 0;
-    while (start <= arg.size()) {
-        std::size_t comma = arg.find(',', start);
-        if (comma == std::string::npos)
-            comma = arg.size();
-        if (comma > start)
-            names.push_back(arg.substr(start, comma - start));
-        start = comma + 1;
-    }
-    return names;
+    return bbb::cli::splitList(arg);
 }
 
 } // namespace
@@ -112,11 +105,10 @@ main(int argc, char **argv)
 {
     std::string workload = "hashmap";
     std::string trace_path;
+    std::string json_path;
     bool auto_strict = false;
     bool dump_stats = false;
-    unsigned jobs = 0;
-    if (const char *env = std::getenv("BBB_JOBS"))
-        jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    unsigned jobs = bbb::cli::jobsArg(argc, argv);
     SystemConfig cfg = benchConfig(PersistMode::BbbMemSide, 32);
     WorkloadParams params = benchParams();
     params.ops_per_thread = 2000;
@@ -153,6 +145,8 @@ main(int argc, char **argv)
             dump_stats = true;
         } else if (arg == "--trace") {
             trace_path = next();
+        } else if (arg == "--json") {
+            json_path = next();
         } else {
             usage(argv[0]);
         }
@@ -165,11 +159,26 @@ main(int argc, char **argv)
         std::vector<ExperimentSpec> specs;
         for (const std::string &name : sweep)
             specs.push_back({cfg, name, params});
-        std::vector<ExperimentResult> results =
-            runExperiments(specs, jobs);
+        std::vector<ExperimentResult> results;
+        double secs = timedSeconds(
+            [&] { results = runExperiments(specs, jobs); });
         std::printf("%s\n", ExperimentResult::csvHeader().c_str());
         for (const ExperimentResult &r : results)
             std::printf("%s\n", r.toCsv().c_str());
+        if (!json_path.empty()) {
+            BenchReport report("run_experiment");
+            report.setConfig("mode", persistModeName(cfg.mode));
+            report.setConfig("bbpb_entries",
+                             std::uint64_t{cfg.bbpb.entries});
+            report.setConfig("ops_per_thread",
+                             std::uint64_t{params.ops_per_thread});
+            report.setConfig("initial_elements",
+                             std::uint64_t{params.initial_elements});
+            for (std::size_t i = 0; i < results.size(); ++i)
+                report.addExperiment(sweep[i], results[i].metrics);
+            report.noteRun(secs, jobs);
+            report.writeFile(json_path);
+        }
         return 0;
     }
     workload = sweep.empty() ? workload : sweep.front();
@@ -227,6 +236,18 @@ main(int argc, char **argv)
     if (dump_stats) {
         std::printf("\n");
         sys.stats().dumpAll(std::cout);
+    }
+    if (!json_path.empty()) {
+        BenchReport report("run_experiment");
+        report.setConfig("workload", workload);
+        report.setConfig("mode", persistModeName(cfg.mode));
+        report.setConfig("bbpb_entries", std::uint64_t{cfg.bbpb.entries});
+        report.setConfig("ops_per_thread",
+                         std::uint64_t{params.ops_per_thread});
+        report.setConfig("initial_elements",
+                         std::uint64_t{params.initial_elements});
+        report.measured().merge(sys.snapshotMetrics(), "");
+        report.writeFile(json_path);
     }
     return res.consistent() || cfg.mode == PersistMode::AdrUnsafe ? 0 : 1;
 }

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tiny shared command-line helpers for the bench and example binaries.
+ *
+ * Every binary in bench/ and examples/ parses the same handful of flags
+ * (`--fast`, `--jobs N`, `--json PATH`, comma-separated name lists);
+ * this header is the single implementation. Flags may repeat — the last
+ * occurrence wins, like most CLIs — and a trailing flag with a missing
+ * value warns instead of being silently dropped.
+ */
+
+#ifndef BBB_API_CLI_HH
+#define BBB_API_CLI_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bbb
+{
+namespace cli
+{
+
+/** True if @p flag appears anywhere on the command line. */
+inline bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Value of the last `@p flag VALUE` pair, or @p def when absent. A
+ * trailing @p flag with no value warns on stderr (instead of the old
+ * behaviour of silently ignoring it) and keeps the previous value.
+ */
+inline std::string
+stringOpt(int argc, char **argv, const char *flag,
+          const std::string &def = std::string())
+{
+    std::string value = def;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) != 0)
+            continue;
+        if (i + 1 >= argc) {
+            std::fprintf(stderr,
+                         "warning: %s requires a value; ignoring it\n",
+                         flag);
+            continue;
+        }
+        value = argv[++i];
+    }
+    return value;
+}
+
+/** True if `--fast` appears on the command line (CI smoke mode). */
+inline bool
+fastMode(int argc, char **argv)
+{
+    return hasFlag(argc, argv, "--fast");
+}
+
+/**
+ * Worker-pool width: `--jobs N` on the command line, else the BBB_JOBS
+ * environment variable, else 0 (= hardware concurrency, resolved by the
+ * worker pool).
+ */
+inline unsigned
+jobsArg(int argc, char **argv)
+{
+    std::string value = stringOpt(argc, argv, "--jobs");
+    if (value.empty()) {
+        const char *env = std::getenv("BBB_JOBS");
+        if (env)
+            value = env;
+    }
+    return value.empty()
+               ? 0
+               : static_cast<unsigned>(
+                     std::strtoul(value.c_str(), nullptr, 10));
+}
+
+/** `--json PATH` destination for the structured report ("" = none). */
+inline std::string
+jsonPathArg(int argc, char **argv)
+{
+    return stringOpt(argc, argv, "--json");
+}
+
+/** Split a comma-separated list, dropping empty segments. */
+inline std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> names;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        std::size_t comma = arg.find(',', start);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        if (comma > start)
+            names.push_back(arg.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return names;
+}
+
+} // namespace cli
+} // namespace bbb
+
+#endif // BBB_API_CLI_HH

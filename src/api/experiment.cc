@@ -103,6 +103,7 @@ runExperiment(const SystemConfig &cfg, const std::string &workload,
         r.stall_ticks +=
             stats.lookup("core" + std::to_string(c), "stall_ticks");
     }
+    r.metrics = sys.snapshotMetrics();
     return r;
 }
 

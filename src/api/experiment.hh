@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/stats.hh"
 #include "workloads/workload.hh"
 
 namespace bbb
@@ -49,6 +50,13 @@ struct ExperimentResult
     std::uint64_t persisting_stores = 0;
     /** Core ticks spent stalled on the store buffer. */
     std::uint64_t stall_ticks = 0;
+
+    /**
+     * The run's full metric tree (System::snapshotMetrics): every
+     * registry stat plus the derived `system.*` values. The loose fields
+     * above are views into it kept for ergonomic table printing.
+     */
+    MetricSnapshot metrics;
 
     double
     pStoreFraction() const

@@ -45,7 +45,8 @@ System::System(const SystemConfig &cfg)
 
     _heap = std::make_unique<PersistentHeap>(_map, _cfg.num_cores);
     _crash = std::make_unique<CrashEngine>(_cfg, *_hier, *_nvmm, _store,
-                                           *_backend, _cores);
+                                           *_backend, _cores, _stats);
+    _fault_stats.registerWith(_stats.group("fault"));
 
     // Stamp the heap magic in media so recovery can sanity-check it.
     _store.write64(_heap->magicAddr(), PersistentHeap::kMagic);
@@ -57,6 +58,8 @@ void
 System::setFaultPlan(const FaultPlan &plan)
 {
     BBB_ASSERT(!_crashed, "fault plan armed after the crash");
+    // The counters describe the armed plan's run; re-arming starts over.
+    _fault_stats.reset();
     if (!plan.enabled()) {
         // Detach entirely: the fault-free machine must not even consult
         // the injector, so disabled plans reproduce it bit for bit.
@@ -65,9 +68,37 @@ System::setFaultPlan(const FaultPlan &plan)
         _crash->setFaultInjector(nullptr);
         return;
     }
-    _faults = std::make_unique<FaultInjector>(plan);
+    _faults = std::make_unique<FaultInjector>(plan, &_fault_stats);
     _nvmm->setFaultInjector(_faults.get());
     _crash->setFaultInjector(_faults.get());
+}
+
+MetricSnapshot
+System::snapshotMetrics(bool histogram_buckets) const
+{
+    MetricSnapshot m = _stats.snapshot(histogram_buckets);
+
+    // Derived system-level results that live outside the registry.
+    m.setCount("system.exec_ticks", _exec_time);
+    m.setReal("system.exec_ns", ticksToNs(_exec_time));
+    m.setCount("system.nvmm_writes", _nvmm->mediaWrites());
+    m.setCount("system.nvmm_writes_effective", effectiveNvmmWrites());
+    m.setLevel("system.wpq_occupancy",
+               static_cast<double>(_nvmm->wpqOccupancy()));
+    m.setLevel("system.backend_occupancy",
+               static_cast<double>(_backend->occupancy()));
+
+    // Instantaneous dirty-state watermarks from the hierarchy walk.
+    DirtyStats d = _hier->dirtyStats();
+    m.setLevel("hierarchy.l1_dirty_blocks",
+               static_cast<double>(d.l1_dirty_blocks));
+    m.setLevel("hierarchy.l1_valid_blocks",
+               static_cast<double>(d.l1_valid_blocks));
+    m.setLevel("hierarchy.llc_dirty_blocks",
+               static_cast<double>(d.llc_dirty_blocks));
+    m.setLevel("hierarchy.llc_valid_blocks",
+               static_cast<double>(d.llc_valid_blocks));
+    return m;
 }
 
 void

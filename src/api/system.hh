@@ -144,6 +144,16 @@ class System
         return n;
     }
 
+    /**
+     * Capture the machine's full metric tree: every registry-registered
+     * stat (caches, controllers, store buffers, bbPBs, crash engine,
+     * fault layer) plus derived `system.*` results (exec time, NVMM
+     * write counts) and instantaneous `hierarchy.*_dirty_blocks`
+     * watermarks. Deterministic: byte-stable JSON via
+     * MetricSnapshot::toJson().
+     */
+    MetricSnapshot snapshotMetrics(bool histogram_buckets = false) const;
+
     /** Read-only view of the (post-crash) persistent image. */
     PmemImage pmemImage() const { return PmemImage(_store, _map); }
 
@@ -180,6 +190,7 @@ class System
     std::vector<std::unique_ptr<Core>> _cores;
     std::unique_ptr<PersistentHeap> _heap;
     std::unique_ptr<CrashEngine> _crash;
+    FaultStats _fault_stats;
     std::unique_ptr<FaultInjector> _faults;
     Tick _exec_time = 0;
     bool _crashed = false;

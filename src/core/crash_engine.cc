@@ -5,6 +5,62 @@
 namespace bbb
 {
 
+void
+CrashStats::registerWith(StatGroup &g)
+{
+    g.addCounter("crashes", &crashes, "power failures taken");
+    g.addCounter("wpq_blocks", &wpq_blocks, "WPQ blocks drained");
+    g.addCounter("bbpb_blocks", &bbpb_blocks, "bbPB blocks drained");
+    g.addCounter("cache_blocks_l1", &cache_blocks_l1,
+                 "dirty L1 blocks drained (eADR)");
+    g.addCounter("cache_blocks_llc", &cache_blocks_llc,
+                 "dirty LLC blocks drained (eADR)");
+    g.addCounter("sb_entries", &sb_entries,
+                 "battery-backed store-buffer entries drained");
+    g.addCounter("drained_bytes", &drained_bytes,
+                 "bytes drained (excluding the WPQ)");
+    g.addCounter("sacrificed_blocks", &sacrificed_blocks,
+                 "items lost to an exhausted battery");
+    g.addCounter("torn_media_blocks", &torn_media_blocks,
+                 "drained blocks torn by terminal media failures");
+    g.addCounter("media_retries", &media_retries,
+                 "media write retries during the drain");
+    g.addCounter("recrashes", &recrashes, "mid-drain re-crashes taken");
+    g.addCounter("battery_exhausted", &battery_exhausted,
+                 "crashes whose battery ran out mid-drain");
+    g.addCounter("prefix_violations", &prefix_violations,
+                 "crashes violating the oldest-first prefix oracle");
+    g.addAverage("drain_energy_j", &drain_energy_j,
+                 "drain energy per crash (J, Table VI model)");
+    g.addAverage("drain_time_s", &drain_time_s,
+                 "drain time per crash (s)");
+    g.addAverage("battery_spent_j", &battery_spent_j,
+                 "battery energy drawn per crash (J, including the WPQ)");
+}
+
+void
+CrashStats::note(const CrashReport &rep)
+{
+    ++crashes;
+    wpq_blocks += rep.wpq_blocks;
+    bbpb_blocks += rep.bbpb_blocks;
+    cache_blocks_l1 += rep.cache_blocks_l1;
+    cache_blocks_llc += rep.cache_blocks_llc;
+    sb_entries += rep.sb_entries;
+    drained_bytes += rep.drained_bytes;
+    sacrificed_blocks += rep.sacrificed_blocks;
+    torn_media_blocks += rep.torn_media_blocks;
+    media_retries += rep.media_retries;
+    recrashes += rep.recrashes;
+    if (rep.battery_exhausted)
+        ++battery_exhausted;
+    if (!rep.drain_prefix_ok)
+        ++prefix_violations;
+    drain_energy_j.sample(rep.drain_energy_j);
+    drain_time_s.sample(rep.drain_time_s);
+    battery_spent_j.sample(rep.battery_spent_j);
+}
+
 PlatformSpec
 CrashEngine::simulatedPlatform() const
 {
@@ -192,6 +248,7 @@ CrashEngine::crash(Tick now)
         static_cast<double>(rep.drained_bytes) /
         (cost.constants().channel_write_bw * _cfg.nvmm.channels);
     rep.battery_spent_j = battery.spentJ();
+    _stats.note(rep);
     return rep;
 }
 

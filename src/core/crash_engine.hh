@@ -51,6 +51,7 @@
 #include "mem/backing_store.hh"
 #include "mem/mem_ctrl.hh"
 #include "sim/config.hh"
+#include "sim/stats.hh"
 
 namespace bbb
 {
@@ -96,6 +97,35 @@ struct CrashReport
     double battery_spent_j = 0.0;
 };
 
+/**
+ * Registry-registered crash-drain statistics (group "crash"). The same
+ * numbers as CrashReport, but accumulated across crashes and captured by
+ * MetricSnapshot like every other component's stats. Energy/time land as
+ * averages so snapshots expand them to delta-able `.sum`/`.count` pairs.
+ */
+struct CrashStats
+{
+    StatCounter crashes;
+    StatCounter wpq_blocks;
+    StatCounter bbpb_blocks;
+    StatCounter cache_blocks_l1;
+    StatCounter cache_blocks_llc;
+    StatCounter sb_entries;
+    StatCounter drained_bytes;
+    StatCounter sacrificed_blocks;
+    StatCounter torn_media_blocks;
+    StatCounter media_retries;
+    StatCounter recrashes;
+    StatCounter battery_exhausted;
+    StatCounter prefix_violations;
+    StatAverage drain_energy_j;
+    StatAverage drain_time_s;
+    StatAverage battery_spent_j;
+
+    void registerWith(StatGroup &g);
+    void note(const CrashReport &rep);
+};
+
 /** Executes the flush-on-fail policy for the configured mode. */
 class CrashEngine
 {
@@ -103,10 +133,12 @@ class CrashEngine
     CrashEngine(const SystemConfig &cfg, CacheHierarchy &hier,
                 MemCtrl &nvmm, BackingStore &store,
                 PersistencyBackend &backend,
-                std::vector<std::unique_ptr<Core>> &cores)
+                std::vector<std::unique_ptr<Core>> &cores,
+                StatRegistry &stats)
         : _cfg(cfg), _hier(hier), _nvmm(nvmm), _store(store),
           _backend(backend), _cores(cores)
     {
+        _stats.registerWith(stats.group("crash"));
     }
 
     /**
@@ -129,6 +161,7 @@ class CrashEngine
     PersistencyBackend &_backend;
     std::vector<std::unique_ptr<Core>> &_cores;
     FaultInjector *_faults = nullptr;
+    CrashStats _stats;
 };
 
 } // namespace bbb

@@ -167,6 +167,9 @@ runCrashCampaign(const CampaignSpec &spec, unsigned jobs)
             return os.str();
         });
 
+    std::uint64_t damaged = 0, sacrificed = 0, torn = 0, retries = 0;
+    std::uint64_t recrashes = 0, exhausted = 0, drained_bytes = 0;
+    double battery_spent_j = 0.0;
     for (const CrashSampleResult &r : summary.results) {
         switch (r.outcome) {
           case CampaignOutcome::Clean:
@@ -179,7 +182,30 @@ runCrashCampaign(const CampaignSpec &spec, unsigned jobs)
             ++summary.violations;
             break;
         }
+        damaged += r.damaged_blocks;
+        sacrificed += r.report.sacrificed_blocks;
+        torn += r.report.torn_media_blocks;
+        retries += r.report.media_retries;
+        recrashes += r.report.recrashes;
+        if (r.report.battery_exhausted)
+            ++exhausted;
+        drained_bytes += r.report.drained_bytes;
+        battery_spent_j += r.report.battery_spent_j;
     }
+
+    MetricSnapshot &m = summary.metrics;
+    m.setCount("campaign.samples", summary.results.size());
+    m.setCount("campaign.clean", summary.clean);
+    m.setCount("campaign.degraded_prefix", summary.degraded);
+    m.setCount("campaign.oracle_violations", summary.violations);
+    m.setCount("campaign.damaged_blocks", damaged);
+    m.setCount("campaign.sacrificed_blocks", sacrificed);
+    m.setCount("campaign.torn_media_blocks", torn);
+    m.setCount("campaign.media_retries", retries);
+    m.setCount("campaign.recrashes", recrashes);
+    m.setCount("campaign.battery_exhausted", exhausted);
+    m.setCount("campaign.drained_bytes", drained_bytes);
+    m.setReal("campaign.battery_spent_j", battery_spent_j);
     return summary;
 }
 

@@ -39,6 +39,7 @@
 #include "fault/fault_plan.hh"
 #include "persist/recovery.hh"
 #include "sim/config.hh"
+#include "sim/stats.hh"
 #include "workloads/workload.hh"
 
 namespace bbb
@@ -129,6 +130,13 @@ struct CampaignSummary
     std::uint64_t clean = 0;
     std::uint64_t degraded = 0;
     std::uint64_t violations = 0;
+
+    /**
+     * Campaign-level aggregates as a metric tree (`campaign.*`): the
+     * taxonomy tally plus drain/fault totals summed over every sample.
+     * Deterministic at any jobs width, like the results themselves.
+     */
+    MetricSnapshot metrics;
 
     /** First oracle violation, or nullptr if the campaign is bug-free. */
     const CrashSampleResult *firstViolation() const;

@@ -40,7 +40,7 @@ FaultInjector::noteSacrificedBytes(const BackingStore &store, Addr addr,
         BlockData current;
         store.readBlock(block, current.bytes.data());
         it = _damaged.emplace(block, current).first;
-        ++_sacrificed_blocks;
+        ++_stats->sacrificed_blocks;
     }
     std::memcpy(it->second.bytes.data() + blockOffset(addr), src, size);
 }

@@ -38,10 +38,44 @@
 #include "mem/backing_store.hh"
 #include "mem/mem_ctrl.hh"
 #include "sim/rng.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace bbb
 {
+
+/**
+ * Fault-layer counters. A System owns one instance registered under the
+ * "fault" stat group (so snapshots carry `fault.torn_blocks` etc. even
+ * when no plan is armed); a standalone FaultInjector falls back to an
+ * internal instance. Re-arming a plan resets them: the counters describe
+ * the currently-armed plan's run, matching the injector's own lifetime.
+ */
+struct FaultStats
+{
+    StatCounter torn_blocks;       ///< blocks torn by terminal failures
+    StatCounter media_retries;     ///< failed media attempts retried
+    StatCounter sacrificed_blocks; ///< crash-time items lost to battery
+
+    void
+    registerWith(StatGroup &g)
+    {
+        g.addCounter("torn_blocks", &torn_blocks,
+                     "blocks torn by terminal media write failures");
+        g.addCounter("media_retries", &media_retries,
+                     "media write retries taken");
+        g.addCounter("sacrificed_blocks", &sacrificed_blocks,
+                     "persistence-domain items lost to the battery");
+    }
+
+    void
+    reset()
+    {
+        torn_blocks.reset();
+        media_retries.reset();
+        sacrificed_blocks.reset();
+    }
+};
 
 /** How one media write attempt sequence ended. */
 struct MediaWriteOutcome
@@ -61,9 +95,15 @@ class FaultInjector
     /** Bytes of a torn block that still reach media (the first half). */
     static constexpr unsigned kTornBytes = kBlockSize / 2;
 
-    explicit FaultInjector(const FaultPlan &plan)
+    /**
+     * @p stats may point at an externally-registered FaultStats (the
+     * System's, registered under the "fault" group); nullptr falls back
+     * to an internal instance so standalone injectors keep working.
+     */
+    explicit FaultInjector(const FaultPlan &plan,
+                           FaultStats *stats = nullptr)
         : _plan(plan), _rng(plan.fault_seed ^ 0xfa017ull),
-          _battery(plan.battery_j)
+          _battery(plan.battery_j), _stats(stats ? stats : &_own_stats)
     {
     }
 
@@ -91,7 +131,7 @@ class FaultInjector
     }
 
     /** A failed attempt will be retried (latency charged by the caller). */
-    void noteRetry() { ++_media_retries; }
+    void noteRetry() { ++_stats->media_retries; }
 
     /** Terminal failure: commit the torn half-block and ledger the rest. */
     void
@@ -99,7 +139,7 @@ class FaultInjector
     {
         store.write(block, intended.bytes.data(), kTornBytes);
         _damaged[block] = intended;
-        ++_torn_blocks;
+        ++_stats->torn_blocks;
     }
 
     /** A clean full-block write landed: supersede any old damage. */
@@ -110,7 +150,7 @@ class FaultInjector
     noteSacrificed(Addr block, const BlockData &intended)
     {
         _damaged[block] = intended;
-        ++_sacrificed_blocks;
+        ++_stats->sacrificed_blocks;
     }
 
     /** A crash-time sub-block store-buffer write was sacrificed. */
@@ -150,9 +190,17 @@ class FaultInjector
     /** Write every damaged block's intended content into @p store. */
     void repairImage(BackingStore &store) const;
 
-    std::uint64_t tornBlocks() const { return _torn_blocks; }
-    std::uint64_t mediaRetries() const { return _media_retries; }
-    std::uint64_t sacrificedBlocks() const { return _sacrificed_blocks; }
+    std::uint64_t tornBlocks() const { return _stats->torn_blocks.value(); }
+    std::uint64_t
+    mediaRetries() const
+    {
+        return _stats->media_retries.value();
+    }
+    std::uint64_t
+    sacrificedBlocks() const
+    {
+        return _stats->sacrificed_blocks.value();
+    }
 
   private:
     FaultPlan _plan;
@@ -162,9 +210,8 @@ class FaultInjector
     /** block -> content an un-faulted run would have persisted. */
     std::map<Addr, BlockData> _damaged;
 
-    std::uint64_t _torn_blocks = 0;
-    std::uint64_t _media_retries = 0;
-    std::uint64_t _sacrificed_blocks = 0;
+    FaultStats _own_stats; ///< fallback when no external stats are given
+    FaultStats *_stats;
 };
 
 } // namespace bbb

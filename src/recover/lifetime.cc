@@ -345,6 +345,8 @@ runLifetimeCampaign(const LifetimeSpec &spec, unsigned jobs)
         },
         jobs, [&](std::size_t i) { return samples[i].reproLine(); });
 
+    std::uint64_t rounds = 0, damaged = 0, repairs = 0, dropped = 0;
+    std::uint64_t rec_clean = 0, rec_degraded = 0, rec_unrecoverable = 0;
     for (const LifetimeResult &r : summary.results) {
         switch (r.outcome) {
           case LifetimeOutcome::Clean:
@@ -357,7 +359,37 @@ runLifetimeCampaign(const LifetimeSpec &spec, unsigned jobs)
             ++summary.violations;
             break;
         }
+        rounds += r.round_log.size();
+        for (const LifetimeRound &round : r.round_log) {
+            damaged += round.damaged_blocks;
+            repairs += round.repairs;
+            dropped += round.dropped;
+            switch (round.recovery) {
+              case RecoveryStatus::Clean:
+                ++rec_clean;
+                break;
+              case RecoveryStatus::DegradedRepaired:
+                ++rec_degraded;
+                break;
+              case RecoveryStatus::Unrecoverable:
+                ++rec_unrecoverable;
+                break;
+            }
+        }
     }
+
+    MetricSnapshot &m = summary.metrics;
+    m.setCount("lifetime.lifetimes", summary.results.size());
+    m.setCount("lifetime.clean", summary.clean);
+    m.setCount("lifetime.degraded_repaired", summary.degraded);
+    m.setCount("lifetime.oracle_violations", summary.violations);
+    m.setCount("lifetime.rounds", rounds);
+    m.setCount("lifetime.damaged_blocks", damaged);
+    m.setCount("lifetime.repairs", repairs);
+    m.setCount("lifetime.dropped", dropped);
+    m.setCount("lifetime.recovery_clean", rec_clean);
+    m.setCount("lifetime.recovery_degraded", rec_degraded);
+    m.setCount("lifetime.recovery_unrecoverable", rec_unrecoverable);
     return summary;
 }
 

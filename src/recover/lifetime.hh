@@ -60,6 +60,7 @@
 #include "persist/recovery.hh"
 #include "recover/recovery_manager.hh"
 #include "sim/config.hh"
+#include "sim/stats.hh"
 #include "workloads/workload.hh"
 
 namespace bbb
@@ -186,6 +187,13 @@ struct LifetimeSummary
     std::uint64_t clean = 0;
     std::uint64_t degraded = 0;
     std::uint64_t violations = 0;
+
+    /**
+     * Campaign-level aggregates as a metric tree (`lifetime.*`): the
+     * taxonomy tally plus per-round recovery/damage totals summed over
+     * every lifetime. Deterministic at any jobs width.
+     */
+    MetricSnapshot metrics;
 
     /** First oracle violation, or nullptr if the campaign is bug-free. */
     const LifetimeResult *firstViolation() const;

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Minimal deterministic JSON emission — no external dependencies.
+ *
+ * JsonWriter streams a JSON document with explicit object/array
+ * structure. It exists so every machine-readable artifact the repo
+ * emits (metric snapshots, bench reports) serializes byte-stably:
+ * numbers use the shortest round-trip form via std::to_chars
+ * (locale-independent), indentation is fixed two-space, and keys are
+ * written in exactly the order the caller provides them — callers are
+ * responsible for a deterministic order (MetricSnapshot sorts, report
+ * sections are emitted in a fixed sequence).
+ */
+
+#ifndef BBB_SIM_JSON_HH
+#define BBB_SIM_JSON_HH
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace bbb
+{
+
+/** Shortest round-trip decimal form of @p v (locale-independent). */
+inline std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no NaN/Inf; null keeps the doc valid
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+/** Exact decimal form of @p v (uint64 values never round-trip lossily
+ *  through double this way — fingerprints stay bit-exact). */
+inline std::string
+jsonNumber(std::uint64_t v)
+{
+    char buf[24];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+/** JSON string escaping (quotes, backslash, control characters). */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Streaming JSON writer with comma/indent bookkeeping. Usage:
+ * @code
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.member("schema", "bbb-bench-report");
+ *   w.key("config"); w.beginObject(); ... w.endObject();
+ *   w.endObject();
+ * @endcode
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : _os(os) {}
+
+    void
+    beginObject()
+    {
+        preValue();
+        _os << '{';
+        _frames.push_back({false, true});
+    }
+
+    void
+    beginArray()
+    {
+        preValue();
+        _os << '[';
+        _frames.push_back({true, true});
+    }
+
+    void
+    endObject()
+    {
+        BBB_ASSERT(!_frames.empty() && !_frames.back().array,
+                   "endObject outside an object");
+        bool empty = _frames.back().first;
+        _frames.pop_back();
+        if (!empty)
+            newlineIndent();
+        _os << '}';
+    }
+
+    void
+    endArray()
+    {
+        BBB_ASSERT(!_frames.empty() && _frames.back().array,
+                   "endArray outside an array");
+        bool empty = _frames.back().first;
+        _frames.pop_back();
+        if (!empty)
+            newlineIndent();
+        _os << ']';
+    }
+
+    /** Emit the key of the next object member. */
+    void
+    key(const std::string &k)
+    {
+        BBB_ASSERT(!_frames.empty() && !_frames.back().array,
+                   "key outside an object");
+        BBB_ASSERT(!_key_pending, "two keys in a row");
+        separator();
+        _os << '"' << jsonEscape(k) << "\": ";
+        _key_pending = true;
+    }
+
+    void
+    value(const std::string &s)
+    {
+        preValue();
+        _os << '"' << jsonEscape(s) << '"';
+    }
+
+    void value(const char *s) { value(std::string(s)); }
+    void
+    value(double d)
+    {
+        preValue();
+        _os << jsonNumber(d);
+    }
+    void
+    value(std::uint64_t v)
+    {
+        preValue();
+        _os << jsonNumber(v);
+    }
+    void
+    value(unsigned v)
+    {
+        value(static_cast<std::uint64_t>(v));
+    }
+    void
+    value(bool b)
+    {
+        preValue();
+        _os << (b ? "true" : "false");
+    }
+
+    template <typename T>
+    void
+    member(const std::string &k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** All frames closed — the document is complete. */
+    bool done() const { return _frames.empty(); }
+
+  private:
+    struct Frame
+    {
+        bool array;
+        bool first;
+    };
+
+    void
+    newlineIndent()
+    {
+        _os << '\n';
+        for (std::size_t i = 0; i < _frames.size(); ++i)
+            _os << "  ";
+    }
+
+    /** Comma/newline before a key or an array element. */
+    void
+    separator()
+    {
+        if (_frames.empty())
+            return;
+        if (!_frames.back().first)
+            _os << ',';
+        _frames.back().first = false;
+        newlineIndent();
+    }
+
+    /** Bookkeeping before any value (top-level, member, or element). */
+    void
+    preValue()
+    {
+        if (_key_pending) {
+            _key_pending = false; // key() already emitted the separator
+            return;
+        }
+        if (!_frames.empty()) {
+            BBB_ASSERT(_frames.back().array, "object member without a key");
+            separator();
+        }
+    }
+
+    std::ostream &_os;
+    std::vector<Frame> _frames;
+    bool _key_pending = false;
+};
+
+} // namespace bbb
+
+#endif // BBB_SIM_JSON_HH

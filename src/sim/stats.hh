@@ -1,11 +1,20 @@
 /**
  * @file
  * A light statistics package: named scalar counters, averages, and
- * histograms registered into per-component groups, with a text reporter.
+ * histograms registered into per-component groups, with a text reporter
+ * and a structured snapshot layer.
  *
  * Modeled loosely on the gem5 stats framework but simplified: stats are
  * plain objects owned by components; a StatGroup records (name, pointer)
  * pairs for dumping and reset.
+ *
+ * Everything that consumes the registry — the human text dump, metric
+ * snapshots, lookups — goes through one StatVisitor interface, so adding
+ * an output format never touches the stat types again. MetricSnapshot is
+ * the machine-readable face: a deterministic, hierarchically-named value
+ * tree (`core0.stall_ticks`, `bbpb.coalesces`, ...) with snapshot /
+ * delta / reset semantics and dependency-free JSON and CSV emitters with
+ * stable (sorted) key order.
  */
 
 #ifndef BBB_SIM_STATS_HH
@@ -22,6 +31,8 @@
 
 namespace bbb
 {
+
+class JsonWriter;
 
 /** Monotonically increasing (or arbitrarily set) scalar statistic. */
 class StatCounter
@@ -94,6 +105,7 @@ class StatHistogram
 
     std::uint64_t samples() const { return _samples; }
     std::uint64_t maxSample() const { return _max; }
+    std::uint64_t sum() const { return _sum; }
     double mean() const
     {
         return _samples ? static_cast<double>(_sum) / _samples : 0.0;
@@ -118,6 +130,132 @@ class StatHistogram
     std::uint64_t _samples = 0;
     std::uint64_t _sum = 0;
     std::uint64_t _max = 0;
+};
+
+/**
+ * Visitor over every registered stat. Names arrive fully qualified
+ * (`group.stat`); the text dump, metric snapshots, and lookups are all
+ * implemented against this interface.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    virtual void counter(const std::string &name, const std::string &desc,
+                         const StatCounter &c) = 0;
+    virtual void average(const std::string &name, const std::string &desc,
+                         const StatAverage &a) = 0;
+    virtual void histogram(const std::string &name, const std::string &desc,
+                           const StatHistogram &h) = 0;
+};
+
+/** How MetricSnapshot::delta() composes one value. */
+enum class MetricKind
+{
+    /** Monotonic event count (uint64, exact): delta subtracts. */
+    Count,
+    /** Accumulated real quantity (sum of samples): delta subtracts. */
+    Real,
+    /** Instantaneous level / watermark: delta keeps the newer value. */
+    Level,
+};
+
+/** One value in a MetricSnapshot. */
+struct MetricValue
+{
+    MetricKind kind = MetricKind::Count;
+    std::uint64_t count = 0; ///< payload when kind == Count
+    double real = 0.0;       ///< payload otherwise
+
+    double
+    asReal() const
+    {
+        return kind == MetricKind::Count ? static_cast<double>(count)
+                                         : real;
+    }
+};
+
+/**
+ * A deterministic, hierarchically-named value tree.
+ *
+ * Names are dotted paths (`core0.stall_ticks`, `crash.drained_bytes`);
+ * values are kept sorted by full name, so iteration order — and
+ * therefore every emitted byte — is a pure function of the contents.
+ * A name may not simultaneously be a leaf and a prefix of another name
+ * (`a.b` and `a.b.c`); the setters reject that shape because it cannot
+ * nest into a JSON object tree.
+ */
+class MetricSnapshot
+{
+  public:
+    void
+    setCount(const std::string &name, std::uint64_t v)
+    {
+        set(name, MetricValue{MetricKind::Count, v, 0.0});
+    }
+
+    void
+    setReal(const std::string &name, double v)
+    {
+        set(name, MetricValue{MetricKind::Real, 0, v});
+    }
+
+    void
+    setLevel(const std::string &name, double v)
+    {
+        set(name, MetricValue{MetricKind::Level, 0, v});
+    }
+
+    /** Value by full name, or nullptr. */
+    const MetricValue *find(const std::string &name) const;
+
+    /** Count payload by name; 0 if absent or not a Count. */
+    std::uint64_t count(const std::string &name) const;
+
+    /** Numeric payload by name (any kind); 0.0 if absent. */
+    double real(const std::string &name) const;
+
+    bool empty() const { return _values.empty(); }
+    std::size_t size() const { return _values.size(); }
+
+    /** Drop every value (an empty snapshot, not a zeroed one). */
+    void reset() { _values.clear(); }
+
+    /**
+     * What changed since @p since: Count/Real subtract (saturating at
+     * zero for counts), Level keeps this snapshot's value. Names absent
+     * from @p since are treated as starting from zero.
+     */
+    MetricSnapshot delta(const MetricSnapshot &since) const;
+
+    /** Copy every value of @p other in, optionally under `prefix.`. */
+    void merge(const MetricSnapshot &other, const std::string &prefix = "");
+
+    /** Nested JSON object tree (sorted keys, stable bytes). */
+    void writeJson(std::ostream &os) const;
+    std::string toJson() const;
+
+    /**
+     * Emit the same object tree as one value of an enclosing document
+     * (the writer supplies indentation/position). Used by BenchReport
+     * to splice snapshots into report sections.
+     */
+    void writeJsonInto(JsonWriter &w) const;
+
+    /** Flat `metric,value` CSV (header + one sorted row per value). */
+    void writeCsv(std::ostream &os) const;
+    std::string toCsv() const;
+
+    const std::map<std::string, MetricValue> &values() const
+    {
+        return _values;
+    }
+
+  private:
+    void set(const std::string &name, const MetricValue &v);
+
+    std::map<std::string, MetricValue> _values;
 };
 
 /**
@@ -153,6 +291,9 @@ class StatGroup
 
     const std::string &name() const { return _name; }
 
+    /** Visit every registered stat as `group.stat`. */
+    void accept(StatVisitor &v) const;
+
     /** Write `group.stat value # desc` lines, gem5 stats.txt style. */
     void dump(std::ostream &os) const;
 
@@ -181,8 +322,28 @@ class StatGroup
 class StatRegistry
 {
   public:
-    /** Create (or fetch) the group with the given name. */
+    /**
+     * Create the group with the given name. Registering the same group
+     * name twice is fatal: the old create-or-fetch semantics silently
+     * merged two components' stats under one name, which corrupted every
+     * per-component report. Use find() to look an existing group up.
+     */
     StatGroup &group(const std::string &name);
+
+    /** The group with the given name, or nullptr. */
+    StatGroup *find(const std::string &name);
+    const StatGroup *find(const std::string &name) const;
+
+    /** Visit every stat of every group, in registration order. */
+    void accept(StatVisitor &v) const;
+
+    /**
+     * Capture every registered stat into a metric snapshot. Counters
+     * become Count values; averages expand to `.sum` (Real) and
+     * `.count`; histograms expand to `.samples`, `.sum`, `.max` (Level)
+     * and — when @p histogram_buckets — zero-padded `.bucketNN` counts.
+     */
+    MetricSnapshot snapshot(bool histogram_buckets = false) const;
 
     /** Dump every group in registration order. */
     void dumpAll(std::ostream &os) const;
@@ -190,7 +351,7 @@ class StatRegistry
     /** Reset every group. */
     void resetAll();
 
-    /** Convenience: `group(g).counterValue(s)`; 0 if group absent. */
+    /** Convenience: counter value of `g.s`; 0 if either is absent. */
     std::uint64_t lookup(const std::string &g, const std::string &s) const;
 
   private:

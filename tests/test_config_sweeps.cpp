@@ -148,7 +148,8 @@ TEST(ConfigSweep, ResidencyHistogramPopulates)
     sys.run();
     // Drains happened; the residency histogram must have samples.
     std::ostringstream os;
-    sys.stats().group("bbpb").dump(os);
+    ASSERT_NE(sys.stats().find("bbpb"), nullptr);
+    sys.stats().find("bbpb")->dump(os);
     EXPECT_NE(os.str().find("residency_ns"), std::string::npos);
     EXPECT_GT(sys.stats().lookup("bbpb", "drains"), 0u);
 }

@@ -146,6 +146,11 @@ TEST(CrashCampaign, SerialAndParallelSummariesAreBitIdentical)
     EXPECT_EQ(serial.violations, wide.violations);
     for (std::size_t i = 0; i < serial.results.size(); ++i)
         expectSameResult(serial.results[i], wide.results[i]);
+    // The aggregated campaign metric tree must also be byte-identical.
+    EXPECT_FALSE(serial.metrics.empty());
+    EXPECT_EQ(serial.metrics.toJson(), wide.metrics.toJson());
+    EXPECT_EQ(serial.metrics.count("campaign.samples"),
+              serial.results.size());
 }
 
 TEST(CrashCampaign, SampleReplayIsExact)

@@ -116,4 +116,9 @@ TEST(LifetimeCampaign, SummaryBitIdenticalAtAnyJobsWidth)
             EXPECT_EQ(serial.results[i].round_log[k].image_fingerprint,
                       wide.results[i].round_log[k].image_fingerprint);
     }
+    // The aggregated lifetime metric tree must also be byte-identical.
+    EXPECT_FALSE(serial.metrics.empty());
+    EXPECT_EQ(serial.metrics.toJson(), wide.metrics.toJson());
+    EXPECT_EQ(serial.metrics.count("lifetime.lifetimes"),
+              serial.results.size());
 }

@@ -109,12 +109,20 @@ TEST(StatGroup, ResetZeroesEverything)
     EXPECT_EQ(h.samples(), 0u);
 }
 
-TEST(StatRegistry, GroupCreatesOnce)
+TEST(StatRegistry, DuplicateGroupNameIsFatal)
+{
+    StatRegistry reg;
+    reg.group("one");
+    EXPECT_EXIT(reg.group("one"), ::testing::ExitedWithCode(1),
+                "registered twice");
+}
+
+TEST(StatRegistry, FindReturnsRegisteredGroup)
 {
     StatRegistry reg;
     StatGroup &a = reg.group("one");
-    StatGroup &b = reg.group("one");
-    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.find("one"), &a);
+    EXPECT_EQ(reg.find("two"), nullptr);
 }
 
 TEST(StatRegistry, LookupAcrossGroups)
@@ -138,4 +146,225 @@ TEST(StatRegistry, DumpAllInRegistrationOrder)
     reg.dumpAll(os);
     std::string out = os.str();
     EXPECT_LT(out.find("zzz.a"), out.find("aaa.b"));
+}
+
+namespace
+{
+
+/** Records every visited name, fully qualified. */
+struct NameCollector : StatVisitor
+{
+    std::vector<std::string> names;
+
+    void
+    counter(const std::string &n, const std::string &,
+            const StatCounter &) override
+    {
+        names.push_back(n);
+    }
+
+    void
+    average(const std::string &n, const std::string &,
+            const StatAverage &) override
+    {
+        names.push_back(n);
+    }
+
+    void
+    histogram(const std::string &n, const std::string &,
+              const StatHistogram &) override
+    {
+        names.push_back(n);
+    }
+};
+
+} // namespace
+
+TEST(StatVisitor, VisitsEveryStatFullyQualified)
+{
+    StatRegistry reg;
+    StatCounter c;
+    StatAverage a;
+    StatHistogram h(4, 10);
+    StatGroup &g = reg.group("comp");
+    g.addCounter("events", &c);
+    g.addAverage("latency", &a);
+    g.addHistogram("residency", &h);
+
+    NameCollector v;
+    reg.accept(v);
+    ASSERT_EQ(v.names.size(), 3u);
+    EXPECT_EQ(v.names[0], "comp.events");
+    EXPECT_EQ(v.names[1], "comp.latency");
+    EXPECT_EQ(v.names[2], "comp.residency");
+}
+
+TEST(StatRegistry, SnapshotExpandsEveryStatKind)
+{
+    StatRegistry reg;
+    StatCounter c;
+    c += 5;
+    StatAverage a;
+    a.sample(2.0);
+    a.sample(4.0);
+    StatHistogram h(4, 10);
+    h.sample(9);   // bucket 0 upper edge
+    h.sample(10);  // bucket 1 lower edge
+    h.sample(39);  // last regular bucket's top value
+    h.sample(40);  // first overflow value
+    h.sample(999); // deep overflow
+    StatGroup &g = reg.group("comp");
+    g.addCounter("events", &c);
+    g.addAverage("latency", &a);
+    g.addHistogram("residency", &h);
+
+    MetricSnapshot m = reg.snapshot(/*histogram_buckets=*/true);
+    EXPECT_EQ(m.count("comp.events"), 5u);
+    EXPECT_DOUBLE_EQ(m.real("comp.latency.sum"), 6.0);
+    EXPECT_EQ(m.count("comp.latency.count"), 2u);
+    EXPECT_EQ(m.count("comp.residency.samples"), 5u);
+    EXPECT_EQ(m.count("comp.residency.sum"), 9u + 10 + 39 + 40 + 999);
+    EXPECT_DOUBLE_EQ(m.real("comp.residency.max"), 999.0);
+    // Boundary samples land on the correct side of each bucket edge,
+    // and both overflow samples share the one overflow bucket.
+    EXPECT_EQ(m.count("comp.residency.bucket0"), 1u);
+    EXPECT_EQ(m.count("comp.residency.bucket1"), 1u);
+    EXPECT_EQ(m.count("comp.residency.bucket2"), 0u);
+    EXPECT_EQ(m.count("comp.residency.bucket3"), 1u);
+    EXPECT_EQ(m.count("comp.residency.bucket4"), 2u);
+    // Without buckets the per-bucket keys must not appear.
+    MetricSnapshot flat = reg.snapshot();
+    EXPECT_EQ(flat.find("comp.residency.bucket0"), nullptr);
+    EXPECT_EQ(flat.count("comp.residency.samples"), 5u);
+}
+
+TEST(StatRegistry, SnapshotBucketKeysZeroPadded)
+{
+    // 12 regular buckets + overflow = 13 keys -> two digits, so the
+    // sorted key order equals the bucket order.
+    StatRegistry reg;
+    StatHistogram h(12, 1);
+    reg.group("g").addHistogram("h", &h);
+    MetricSnapshot m = reg.snapshot(true);
+    EXPECT_NE(m.find("g.h.bucket00"), nullptr);
+    EXPECT_NE(m.find("g.h.bucket12"), nullptr);
+    EXPECT_EQ(m.find("g.h.bucket0"), nullptr);
+}
+
+TEST(MetricSnapshot, FindCountRealAccessors)
+{
+    MetricSnapshot m;
+    m.setCount("a.count", 7);
+    m.setReal("a.real", 1.25);
+    m.setLevel("a.level", 3.0);
+    ASSERT_NE(m.find("a.count"), nullptr);
+    EXPECT_EQ(m.find("a.count")->kind, MetricKind::Count);
+    EXPECT_EQ(m.count("a.count"), 7u);
+    EXPECT_DOUBLE_EQ(m.real("a.count"), 7.0);
+    EXPECT_DOUBLE_EQ(m.real("a.real"), 1.25);
+    EXPECT_DOUBLE_EQ(m.real("a.level"), 3.0);
+    EXPECT_EQ(m.count("a.real"), 0u);  // not a Count
+    EXPECT_EQ(m.find("missing"), nullptr);
+    EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(MetricSnapshot, DeltaPerKindSemantics)
+{
+    MetricSnapshot before, after;
+    before.setCount("events", 10);
+    after.setCount("events", 25);
+    before.setReal("energy", 1.0);
+    after.setReal("energy", 3.5);
+    before.setLevel("occupancy", 9.0);
+    after.setLevel("occupancy", 4.0);
+    after.setCount("fresh", 2); // absent before -> counts from zero
+
+    MetricSnapshot d = after.delta(before);
+    EXPECT_EQ(d.count("events"), 15u);
+    EXPECT_DOUBLE_EQ(d.real("energy"), 2.5);
+    EXPECT_DOUBLE_EQ(d.real("occupancy"), 4.0); // level: keep newer
+    EXPECT_EQ(d.count("fresh"), 2u);
+
+    // Counts saturate at zero rather than wrapping.
+    MetricSnapshot shrunk;
+    shrunk.setCount("events", 3);
+    EXPECT_EQ(shrunk.delta(after).count("events"), 0u);
+}
+
+TEST(MetricSnapshot, SnapshotDeltaResetRoundTrip)
+{
+    StatRegistry reg;
+    StatCounter c;
+    reg.group("g").addCounter("n", &c);
+    c += 10;
+    MetricSnapshot first = reg.snapshot();
+    c += 7;
+    MetricSnapshot second = reg.snapshot();
+    EXPECT_EQ(second.delta(first).count("g.n"), 7u);
+
+    MetricSnapshot d = second.delta(first);
+    d.reset();
+    EXPECT_TRUE(d.empty());
+
+    reg.resetAll();
+    EXPECT_EQ(reg.snapshot().count("g.n"), 0u);
+}
+
+TEST(MetricSnapshot, MergeWithPrefix)
+{
+    MetricSnapshot inner;
+    inner.setCount("x", 1);
+    inner.setReal("y", 2.0);
+    MetricSnapshot outer;
+    outer.setCount("kept", 9);
+    outer.merge(inner, "sub");
+    EXPECT_EQ(outer.count("kept"), 9u);
+    EXPECT_EQ(outer.count("sub.x"), 1u);
+    EXPECT_DOUBLE_EQ(outer.real("sub.y"), 2.0);
+    // Empty prefix copies names unchanged.
+    MetricSnapshot flat;
+    flat.merge(inner);
+    EXPECT_EQ(flat.count("x"), 1u);
+}
+
+TEST(MetricSnapshot, LeafShadowingRejected)
+{
+    MetricSnapshot m;
+    m.setCount("a.b", 1);
+    EXPECT_DEATH(m.setCount("a.b.c", 1), "");
+    MetricSnapshot n;
+    n.setCount("a.b.c", 1);
+    EXPECT_DEATH(n.setCount("a.b", 1), "");
+}
+
+TEST(MetricSnapshot, JsonGoldenBytes)
+{
+    MetricSnapshot m;
+    m.setCount("sys.ticks", 42);
+    m.setReal("sys.energy_j", 1.5);
+    m.setLevel("occupancy", 3.0);
+    const char *expected = "{\n"
+                           "  \"occupancy\": 3,\n"
+                           "  \"sys\": {\n"
+                           "    \"energy_j\": 1.5,\n"
+                           "    \"ticks\": 42\n"
+                           "  }\n"
+                           "}";
+    EXPECT_EQ(m.toJson(), expected);
+    // Determinism: a second emission is byte-identical.
+    EXPECT_EQ(m.toJson(), m.toJson());
+}
+
+TEST(MetricSnapshot, EmptyJsonIsEmptyObject)
+{
+    MetricSnapshot m;
+    EXPECT_EQ(m.toJson(), "{}");
+}
+
+TEST(MetricSnapshot, CsvSortedRows)
+{
+    MetricSnapshot m;
+    m.setCount("z", 1);
+    m.setReal("a", 0.5);
+    EXPECT_EQ(m.toCsv(), "metric,value\na,0.5\nz,1\n");
 }
