@@ -63,8 +63,15 @@ runGrid(const std::vector<bbb::ExperimentSpec> &specs, unsigned jobs,
         effective = static_cast<unsigned>(specs.size());
     std::printf("[grid] %zu points on %u jobs: %.2f s wall\n",
                 specs.size(), effective, secs);
-    if (rep)
+    if (rep) {
         rep->noteRun(secs, effective);
+        std::uint64_t ops = 0, events = 0;
+        for (const bbb::ExperimentResult &r : results) {
+            ops += r.metrics.count("sim.ops");
+            events += r.metrics.count("sim.events_fired");
+        }
+        rep->noteSim(ops, events);
+    }
     return results;
 }
 

@@ -159,6 +159,10 @@ main(int argc, char **argv)
             replay = true;
         } else if (arg == "--fault-plan") {
             replay_plan = next();
+        } else if (arg == "--strict-args") {
+            // This loop is already strict: unknown or value-less flags
+            // exit(2) via usage(). Accepted so campaign scripts can pass
+            // the same flag set to drivers and cli::-based benches.
         } else {
             usage(argv[0]);
         }

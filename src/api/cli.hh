@@ -6,7 +6,10 @@
  * (`--fast`, `--jobs N`, `--json PATH`, comma-separated name lists);
  * this header is the single implementation. Flags may repeat — the last
  * occurrence wins, like most CLIs — and a trailing flag with a missing
- * value warns instead of being silently dropped.
+ * value warns instead of being silently dropped. Under `--strict-args`
+ * (passed by the campaign drivers, so a malformed sweep invocation
+ * cannot quietly run with defaults) that warning is a hard error:
+ * the process exits with status 2.
  */
 
 #ifndef BBB_API_CLI_HH
@@ -34,10 +37,18 @@ hasFlag(int argc, char **argv, const char *flag)
     return false;
 }
 
+/** True if `--strict-args` appears: malformed flags become fatal. */
+inline bool
+strictArgs(int argc, char **argv)
+{
+    return hasFlag(argc, argv, "--strict-args");
+}
+
 /**
  * Value of the last `@p flag VALUE` pair, or @p def when absent. A
  * trailing @p flag with no value warns on stderr (instead of the old
- * behaviour of silently ignoring it) and keeps the previous value.
+ * behaviour of silently ignoring it) and keeps the previous value —
+ * or, under `--strict-args`, exits with status 2.
  */
 inline std::string
 stringOpt(int argc, char **argv, const char *flag,
@@ -48,6 +59,11 @@ stringOpt(int argc, char **argv, const char *flag,
         if (std::strcmp(argv[i], flag) != 0)
             continue;
         if (i + 1 >= argc) {
+            if (strictArgs(argc, argv)) {
+                std::fprintf(stderr,
+                             "error: %s requires a value\n", flag);
+                std::exit(2);
+            }
             std::fprintf(stderr,
                          "warning: %s requires a value; ignoring it\n",
                          flag);

@@ -101,6 +101,19 @@ BenchReport::writeJson(std::ostream &os) const
     w.member("jobs",
              static_cast<std::uint64_t>(canonical ? 0 : _jobs));
     w.member("wall_clock_s", canonical ? 0.0 : _wall_clock_s);
+    // Simulator throughput: counts are deterministic but the whole
+    // section describes the run, not the result, so canonical mode
+    // zeroes everything uniformly.
+    std::uint64_t ops = canonical ? 0 : _sim_ops;
+    std::uint64_t events = canonical ? 0 : _events_fired;
+    double secs = canonical ? 0.0 : _wall_clock_s;
+    w.member("sim_ops", ops);
+    w.member("events_fired", events);
+    w.member("events_per_sec",
+             secs > 0.0 ? static_cast<double>(events) / secs : 0.0);
+    w.member("ns_per_op",
+             ops && secs > 0.0 ? secs * 1e9 / static_cast<double>(ops)
+                               : 0.0);
     w.endObject();
 
     w.endObject();

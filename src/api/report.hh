@@ -23,7 +23,8 @@
  *     "paper": { <MetricSnapshot> },    // published reference values
  *     "measured": { <MetricSnapshot> }, // headline measured values
  *     "experiments": [ { "label": "...", "metrics": { ... } }, ... ],
- *     "host": { "jobs": N, "wall_clock_s": S }
+ *     "host": { "jobs": N, "wall_clock_s": S, "sim_ops": O,
+ *               "events_fired": E, "events_per_sec": R, "ns_per_op": P }
  *   }
  */
 
@@ -86,6 +87,16 @@ class BenchReport
         _jobs = jobs;
     }
 
+    /** Accumulate simulated work for the host-rate summary: @p ops
+     *  memory operations and @p events fired across the run's systems.
+     *  events/sec and ns/op are derived from the noteRun wall clock. */
+    void
+    noteSim(std::uint64_t ops, std::uint64_t events)
+    {
+        _sim_ops += ops;
+        _events_fired += events;
+    }
+
     /** --- emission ---------------------------------------------------- */
 
     void writeJson(std::ostream &os) const;
@@ -121,6 +132,8 @@ class BenchReport
     std::vector<Entry> _experiments;
     double _wall_clock_s = 0.0;
     unsigned _jobs = 0;
+    std::uint64_t _sim_ops = 0;
+    std::uint64_t _events_fired = 0;
 };
 
 /**

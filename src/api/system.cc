@@ -1,13 +1,31 @@
 #include "api/system.hh"
 
+#include <chrono>
+
+#include "api/report.hh"
+
 namespace bbb
 {
+
+namespace
+{
+/** Host wall clock for the sim-rate telemetry (not simulated time). */
+double
+hostNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+} // namespace
 
 System::System(const SystemConfig &cfg)
     : _cfg(cfg), _map(AddrMap::fromConfig(cfg))
 {
     BBB_ASSERT(_cfg.num_cores >= 1 && _cfg.num_cores <= 64,
                "1..64 cores supported (directory uses a 64-bit mask)");
+
+    _eq.reserve(_cfg.eventCapacityHint());
 
     _dram = std::make_unique<MemCtrl>("dram", _cfg.dram, _eq, _store,
                                       _stats);
@@ -48,6 +66,11 @@ System::System(const SystemConfig &cfg)
                                            *_backend, _cores, _stats);
     _fault_stats.registerWith(_stats.group("fault"));
 
+    StatGroup &sim = _stats.group("sim");
+    sim.addCounter("ops", &_sim.ops, "memory operations simulated");
+    sim.addCounter("events_fired", &_sim.events_fired,
+                   "events executed by the event queue");
+
     // Stamp the heap magic in media so recovery can sanity-check it.
     _store.write64(_heap->magicAddr(), PersistentHeap::kMagic);
 }
@@ -76,6 +99,13 @@ System::setFaultPlan(const FaultPlan &plan)
 MetricSnapshot
 System::snapshotMetrics(bool histogram_buckets) const
 {
+    // Refresh the sim-rate counters from the live components so the
+    // registry walk below sees current values. Counts are deterministic
+    // (ops, events); only the host-time-derived leaves appended after the
+    // walk vary across hosts.
+    _sim.ops.set(_hier->memOps());
+    _sim.events_fired.set(_eq.executed());
+
     MetricSnapshot m = _stats.snapshot(histogram_buckets);
 
     // Derived system-level results that live outside the registry.
@@ -98,6 +128,20 @@ System::snapshotMetrics(bool histogram_buckets) const
                static_cast<double>(d.llc_dirty_blocks));
     m.setLevel("hierarchy.llc_valid_blocks",
                static_cast<double>(d.llc_valid_blocks));
+
+    // Host-rate leaves: how fast the simulator itself ran. These depend
+    // on the host machine, so canonical mode zeroes them — the `sim`
+    // count leaves above stay exact and comparable.
+    const bool canonical = reportCanonicalMode();
+    double secs = canonical ? 0.0 : _host_seconds;
+    std::uint64_t ops = _hier->memOps();
+    std::uint64_t events = _eq.executed();
+    m.setReal("sim.host_seconds", secs);
+    m.setLevel("sim.events_per_sec",
+               secs > 0.0 ? static_cast<double>(events) / secs : 0.0);
+    m.setLevel("sim.host_ns_per_op",
+               ops && secs > 0.0 ? secs * 1e9 / static_cast<double>(ops)
+                                 : 0.0);
     return m;
 }
 
@@ -147,6 +191,7 @@ System::scheduleInvariantCheck()
 Tick
 System::run(Tick max_tick)
 {
+    double t0 = hostNow();
     for (auto &core : _cores)
         core->start();
 
@@ -160,6 +205,7 @@ System::run(Tick max_tick)
             break;
     }
     _eq.run(max_tick);
+    _host_seconds += hostNow() - t0;
 
     Tick finish = 0;
     for (const auto &core : _cores)
@@ -171,11 +217,13 @@ System::run(Tick max_tick)
 CrashReport
 System::runAndCrashAt(Tick crash_tick)
 {
+    double t0 = hostNow();
     for (auto &core : _cores)
         core->start();
     if (_cfg.check_invariants)
         scheduleInvariantCheck();
     _eq.run(crash_tick);
+    _host_seconds += hostNow() - t0;
     return crashNow();
 }
 

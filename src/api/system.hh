@@ -169,11 +169,21 @@ class System
     /** Run the hierarchy/backend invariant validator (tests). */
     void checkInvariants() { _hier->checkInvariants(); }
 
+    /** Host wall-clock seconds spent inside run()/runAndCrashAt(). */
+    double hostSeconds() const { return _host_seconds; }
+
   private:
     bool allThreadsFinished() const;
 
     /** Sampled invariant checking (SystemConfig::check_invariants). */
     void scheduleInvariantCheck();
+
+    /** Registry-registered simulator-rate telemetry (the `sim` group). */
+    struct SimStats
+    {
+        StatCounter ops;          ///< memory operations simulated
+        StatCounter events_fired; ///< events executed by the queue
+    };
 
     SystemConfig _cfg;
     AddrMap _map;
@@ -192,7 +202,11 @@ class System
     std::unique_ptr<CrashEngine> _crash;
     FaultStats _fault_stats;
     std::unique_ptr<FaultInjector> _faults;
+    /// Mutable: refreshed from the live components inside the const
+    /// snapshotMetrics() immediately before the registry walk.
+    mutable SimStats _sim;
     Tick _exec_time = 0;
+    double _host_seconds = 0.0;
     bool _crashed = false;
 };
 

@@ -140,12 +140,9 @@ CacheHierarchy::evictLlcLine(LlcLine &line, Tick &lat)
     // copy from memory. The holder's L1 may long since have evicted the
     // block, so this check is independent of the sharer list; line.data
     // already carries the freshest value (M copies merged above).
-    for (CoreId c = 0; c < _cfg.num_cores; ++c) {
-        if (_backend->holds(c, block)) {
-            ++_forced_drains;
-            _backend->onForcedDrain(block, line.data);
-            break; // Invariant 4: at most one holder
-        }
+    if (_backend->holder(block) != kNoCore) {
+        ++_forced_drains;
+        _backend->onForcedDrain(block, line.data);
     }
 
     if (line.dirty) {
@@ -348,10 +345,9 @@ CacheHierarchy::store(CoreId c, Addr addr, unsigned size, const void *src)
         // persist moves here with M ownership (Fig. 6a/b). The paper
         // routes this notification through cache inclusion; we model the
         // same message with a direct holder lookup.
-        for (CoreId o = 0; o < _cfg.num_cores; ++o) {
-            if (o != c && _backend->holds(o, block))
-                _backend->onInvalidateForWrite(o, block);
-        }
+        CoreId h = _backend->holder(block);
+        if (h != kNoCore && h != c)
+            _backend->onInvalidateForWrite(h, block);
         ++_persisting_stores;
         LlcLine *llc_line = _llc.find(block);
         BBB_ASSERT(llc_line, "stored block missing from LLC");
@@ -519,15 +515,17 @@ CacheHierarchy::checkInvariants() const
     });
 
     // bbPB residency invariants: a held block is in the holder's L1 and in
-    // the LLC, and held by exactly one core (Invariant 4).
+    // the LLC, and held by exactly one core (Invariant 4). The ownership
+    // index enforces uniqueness structurally; cross-check that holder()
+    // and holds() agree for every LLC-resident block.
     _llc.forEachValid([&](const LlcLine &line) {
-        unsigned holders = 0;
+        CoreId h = _backend->holder(line.block);
         for (CoreId c = 0; c < _cfg.num_cores; ++c) {
-            if (_backend->holds(c, line.block))
-                ++holders;
+            BBB_ASSERT(_backend->holds(c, line.block) == (c == h &&
+                                                          h != kNoCore),
+                       "holder()/holds() disagree for %#llx (core %u)",
+                       (unsigned long long)line.block, c);
         }
-        BBB_ASSERT(holders <= 1, "block %#llx in %u bbPBs",
-                   (unsigned long long)line.block, holders);
     });
 
     // The same invariants walked from the bbPB side, which also catches
@@ -544,11 +542,10 @@ CacheHierarchy::checkInvariants() const
         BBB_ASSERT(llc_line->persistent,
                    "bbPB block %#llx not flagged persistent in LLC",
                    (unsigned long long)block);
-        for (CoreId o = 0; o < _cfg.num_cores; ++o) {
-            BBB_ASSERT(o == holder || !_backend->holds(o, block),
-                       "block %#llx held by cores %u and %u",
-                       (unsigned long long)block, holder, o);
-        }
+        BBB_ASSERT(_backend->holder(block) == holder,
+                   "block %#llx enumerated for core %u but holder() says %u",
+                   (unsigned long long)block, holder,
+                   _backend->holder(block));
     });
 }
 

@@ -134,6 +134,13 @@ class CacheHierarchy
 
     const AddrMap &addrMap() const { return _map; }
 
+    /** Memory operations (loads + stores) performed so far — the "op"
+     *  denominator of the sim-rate telemetry. */
+    std::uint64_t memOps() const
+    {
+        return _loads.value() + _stores.value();
+    }
+
   private:
     /** Ensure core @p c's L1 holds @p block with at least S permission.
      *  Returns the line; adds latency to @p lat. */

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 namespace bbb
 {
@@ -44,18 +43,80 @@ thresholdEntries(const BbpbConfig &cfg)
 MemSideBbpb::MemSideBbpb(const SystemConfig &cfg, EventQueue &eq,
                          MemCtrl &nvmm, StatRegistry &stats)
     : _cfg(cfg), _eq(eq), _nvmm(nvmm), _bufs(cfg.num_cores),
+      _index(static_cast<std::size_t>(cfg.num_cores) * cfg.bbpb.entries),
       _threshold(thresholdEntries(cfg.bbpb)), _drain_rng(cfg.seed ^ 0xd7a1)
 {
+    for (CoreBuffer &buf : _bufs) {
+        buf.slots.resize(_cfg.bbpb.entries);
+        // Chain every slot onto the free list, lowest index first.
+        for (std::uint32_t s = 0; s < _cfg.bbpb.entries; ++s)
+            buf.slots[s].next = s + 1 < _cfg.bbpb.entries ? s + 1 : kNil;
+        buf.free_head = 0;
+    }
     _stats.registerWith(stats.group("bbpb"));
+}
+
+MemSideBbpb::CoreBuffer &
+MemSideBbpb::buffer(CoreId c)
+{
+    BBB_ASSERT(c < _bufs.size(), "bbPB access with bad core id %u", c);
+    return _bufs[c];
+}
+
+const MemSideBbpb::CoreBuffer &
+MemSideBbpb::buffer(CoreId c) const
+{
+    BBB_ASSERT(c < _bufs.size(), "bbPB access with bad core id %u", c);
+    return _bufs[c];
+}
+
+std::uint32_t
+MemSideBbpb::allocSlot(CoreId c, CoreBuffer &buf, Addr block)
+{
+    std::uint32_t s = buf.free_head;
+    BBB_ASSERT(s != kNil, "allocating from a full bbPB slab");
+    Slot &sl = buf.slots[s];
+    buf.free_head = sl.next;
+
+    sl.block = block;
+    sl.prev = buf.tail;
+    sl.next = kNil;
+    if (buf.tail != kNil)
+        buf.slots[buf.tail].next = s;
+    else
+        buf.head = s;
+    buf.tail = s;
+    ++buf.count;
+    _index.insert(block, c, s);
+    return s;
+}
+
+void
+MemSideBbpb::removeSlot(CoreId, CoreBuffer &buf, std::uint32_t s)
+{
+    Slot &sl = buf.slots[s];
+    if (sl.prev != kNil)
+        buf.slots[sl.prev].next = sl.next;
+    else
+        buf.head = sl.next;
+    if (sl.next != kNil)
+        buf.slots[sl.next].prev = sl.prev;
+    else
+        buf.tail = sl.prev;
+    _index.erase(sl.block);
+    sl.block = kBadAddr;
+    sl.next = buf.free_head;
+    buf.free_head = s;
+    --buf.count;
 }
 
 bool
 MemSideBbpb::canAcceptPersist(CoreId c, Addr block)
 {
-    const CoreBuffer &buf = _bufs.at(c);
-    if (buf.entries.count(blockAlign(block)))
+    const OwnershipIndex::Ref *ref = _index.find(blockAlign(block));
+    if (ref && ref->core == c)
         return true; // coalesce
-    return buf.entries.size() < _cfg.bbpb.entries;
+    return buffer(c).count < _cfg.bbpb.entries;
 }
 
 void
@@ -64,47 +125,47 @@ MemSideBbpb::persistStore(CoreId c, Addr addr, unsigned size,
 {
     (void)size;
     Addr block = blockAlign(addr);
-    CoreBuffer &buf = _bufs.at(c);
-    _stats.occupancy.sample(buf.entries.size());
+    CoreBuffer &buf = buffer(c);
+    _stats.occupancy.sample(buf.count);
 
-    auto it = buf.entries.find(block);
-    if (it != buf.entries.end()) {
+    OwnershipIndex::Ref *ref = _index.find(block);
+    if (ref) {
         // The entry is already in the persistence domain; coalescing is
-        // unrestricted for the memory-side organisation.
-        it->second.data = line_data;
-        it->second.write_seq = _next_seq++;
+        // unrestricted for the memory-side organisation. A hit on another
+        // core's entry is a caller bug: the hierarchy migrates ownership
+        // (onInvalidateForWrite) before the store completes (Invariant 4).
+        BBB_ASSERT(ref->core == c,
+                   "persistStore to block %#llx still held by core %u",
+                   (unsigned long long)block, ref->core);
+        Slot &sl = buf.slots[ref->payload];
+        sl.data = line_data;
+        sl.write_seq = _next_seq++;
         ++_stats.coalesces;
         return;
     }
 
-    BBB_ASSERT(buf.entries.size() < _cfg.bbpb.entries,
+    BBB_ASSERT(buf.count < _cfg.bbpb.entries,
                "persistStore on full bbPB (missing canAcceptPersist?)");
     std::uint64_t seq = _next_seq++;
-    buf.entries.emplace(block, Entry{line_data, seq, seq, _eq.now()});
-    buf.fifo.emplace(seq, block);
+    Slot &sl = buf.slots[allocSlot(c, buf, block)];
+    sl.data = line_data;
+    sl.seq = seq;
+    sl.write_seq = seq;
+    sl.alloc_tick = _eq.now();
     ++_stats.allocations;
     maybeStartDrain(c);
-}
-
-void
-MemSideBbpb::removeEntry(CoreBuffer &buf, Addr block)
-{
-    auto it = buf.entries.find(block);
-    BBB_ASSERT(it != buf.entries.end(), "removing absent bbPB entry");
-    buf.fifo.erase(it->second.seq);
-    buf.entries.erase(it);
 }
 
 void
 MemSideBbpb::onInvalidateForWrite(CoreId holder, Addr block)
 {
     block = blockAlign(block);
-    CoreBuffer &buf = _bufs.at(holder);
-    if (!buf.entries.count(block))
+    const OwnershipIndex::Ref *ref = _index.find(block);
+    if (!ref || ref->core != holder)
         return;
     // Fig. 6(a)/(b): ownership migrates with the block; the writer's bbPB
     // takes over the obligation to drain, so no NVMM write happens here.
-    removeEntry(buf, block);
+    removeSlot(holder, buffer(holder), ref->payload);
     ++_stats.migrations;
 }
 
@@ -112,24 +173,22 @@ void
 MemSideBbpb::onForcedDrain(Addr block, const BlockData &data)
 {
     block = blockAlign(block);
-    for (CoreBuffer &buf : _bufs) {
-        auto it = buf.entries.find(block);
-        if (it == buf.entries.end())
-            continue;
-        // Drain synchronously: the eviction cannot complete until the
-        // value is safely in the WPQ. `data` is the freshest copy from
-        // the cache, which matches the coalesced entry. A full WPQ must
-        // not drop the block (it is leaving the persistence domain), so
-        // escalate to a bypass write; the eviction path charges the
-        // stall.
-        if (!_nvmm.enqueueWrite(block, data))
-            _nvmm.forceWrite(block, data);
-        _stats.residency_ns.sample(static_cast<std::uint64_t>(
-            ticksToNs(_eq.now() - it->second.alloc_tick)));
-        removeEntry(buf, block);
-        ++_stats.forced_drains;
-        return; // Invariant 4: at most one holder
-    }
+    const OwnershipIndex::Ref *ref = _index.find(block);
+    if (!ref)
+        return; // no holder anywhere (Invariant 4: at most one)
+    // Drain synchronously: the eviction cannot complete until the
+    // value is safely in the WPQ. `data` is the freshest copy from
+    // the cache, which matches the coalesced entry. A full WPQ must
+    // not drop the block (it is leaving the persistence domain), so
+    // escalate to a bypass write; the eviction path charges the
+    // stall.
+    if (!_nvmm.enqueueWrite(block, data))
+        _nvmm.forceWrite(block, data);
+    CoreBuffer &buf = buffer(ref->core);
+    _stats.residency_ns.sample(static_cast<std::uint64_t>(
+        ticksToNs(_eq.now() - buf.slots[ref->payload].alloc_tick)));
+    removeSlot(ref->core, buf, ref->payload);
+    ++_stats.forced_drains;
 }
 
 bool
@@ -143,7 +202,16 @@ MemSideBbpb::skipLlcWriteback(Addr) const
 bool
 MemSideBbpb::holds(CoreId c, Addr block) const
 {
-    return _bufs.at(c).entries.count(blockAlign(block)) != 0;
+    BBB_ASSERT(c < _bufs.size(), "bbPB holds() with bad core id %u", c);
+    const OwnershipIndex::Ref *ref = _index.find(blockAlign(block));
+    return ref && ref->core == c;
+}
+
+CoreId
+MemSideBbpb::holder(Addr block) const
+{
+    const OwnershipIndex::Ref *ref = _index.find(blockAlign(block));
+    return ref ? ref->core : kNoCore;
 }
 
 void
@@ -151,32 +219,31 @@ MemSideBbpb::forEachHeld(
     const std::function<void(CoreId, Addr)> &fn) const
 {
     for (CoreId c = 0; c < static_cast<CoreId>(_bufs.size()); ++c) {
-        // Walk the FCFS map: deterministic oldest-first order.
-        for (const auto &kv : _bufs[c].fifo)
-            fn(c, kv.second);
+        // Walk the FCFS list: deterministic oldest-first order.
+        for (std::uint32_t s = _bufs[c].head; s != kNil;
+             s = _bufs[c].slots[s].next)
+            fn(c, _bufs[c].slots[s].block);
     }
 }
 
 std::size_t
 MemSideBbpb::occupancy() const
 {
-    std::size_t n = 0;
-    for (const CoreBuffer &buf : _bufs)
-        n += buf.entries.size();
-    return n;
+    // One index record per held block, system-wide (Invariant 4).
+    return _index.size();
 }
 
 std::size_t
 MemSideBbpb::coreOccupancy(CoreId c) const
 {
-    return _bufs.at(c).entries.size();
+    return buffer(c).count;
 }
 
 void
 MemSideBbpb::maybeStartDrain(CoreId c)
 {
     CoreBuffer &buf = _bufs[c];
-    if (buf.drain_active || buf.entries.size() < _threshold)
+    if (buf.drain_active || buf.count < _threshold)
         return;
     buf.drain_active = true;
     _eq.scheduleIn(_cfg.cycles(_cfg.bbpb.drain_latency_cycles),
@@ -192,15 +259,15 @@ MemSideBbpb::drainStep(CoreId c)
 
     // Entries may have been removed (migration/forced drain) since the
     // step was scheduled; stop when below threshold.
-    if (buf.entries.size() < _threshold) {
+    if (buf.count < _threshold) {
         buf.drain_active = false;
         return;
     }
 
-    Addr block = drainVictim(buf);
-    const Entry &entry = buf.entries.at(block);
+    std::uint32_t s = drainVictim(buf);
+    const Slot &sl = buf.slots[s];
 
-    if (!_nvmm.enqueueWrite(block, entry.data)) {
+    if (!_nvmm.enqueueWrite(sl.block, sl.data)) {
         ++_stats.wpq_retries;
         _eq.scheduleIn(_cfg.cycles(_cfg.bbpb.retry_cycles),
                        [this, c]() { drainStep(c); },
@@ -209,11 +276,11 @@ MemSideBbpb::drainStep(CoreId c)
     }
 
     _stats.residency_ns.sample(static_cast<std::uint64_t>(
-        ticksToNs(_eq.now() - entry.alloc_tick)));
-    removeEntry(buf, block);
+        ticksToNs(_eq.now() - sl.alloc_tick)));
+    removeSlot(c, buf, s);
     ++_stats.drains;
 
-    if (buf.entries.size() >= _threshold) {
+    if (buf.count >= _threshold) {
         // Drains pipeline toward the controller: sustained rate is the
         // injection interval, not the end-to-end transfer latency.
         _eq.scheduleIn(_cfg.cycles(_cfg.bbpb.drain_issue_cycles),
@@ -224,50 +291,59 @@ MemSideBbpb::drainStep(CoreId c)
     }
 }
 
-Addr
+std::uint32_t
 MemSideBbpb::drainVictim(const CoreBuffer &buf)
 {
-    BBB_ASSERT(!buf.entries.empty(), "drain victim from empty bbPB");
+    BBB_ASSERT(buf.count > 0, "drain victim from empty bbPB");
     switch (_cfg.bbpb.drain_policy) {
       case DrainPolicy::Fcfs:
-        return buf.fifo.begin()->second;
+        return buf.head;
       case DrainPolicy::Lrw: {
-        Addr best = kBadAddr;
+        std::uint32_t best = kNil;
         std::uint64_t oldest_write = ~0ull;
-        for (const auto &kv : buf.entries) {
-            if (kv.second.write_seq < oldest_write) {
-                oldest_write = kv.second.write_seq;
-                best = kv.first;
+        for (std::uint32_t s = buf.head; s != kNil; s = buf.slots[s].next) {
+            if (buf.slots[s].write_seq < oldest_write) {
+                oldest_write = buf.slots[s].write_seq;
+                best = s;
             }
         }
         return best;
       }
       case DrainPolicy::Random: {
-        std::uint64_t idx = _drain_rng.below(buf.entries.size());
-        auto it = buf.entries.begin();
-        std::advance(it, static_cast<std::ptrdiff_t>(idx));
-        return it->first;
+        // Victim index in deterministic FCFS order (the map-based
+        // implementation sampled hash order, which was equally random
+        // but an accident of the container).
+        std::uint64_t idx = _drain_rng.below(buf.count);
+        std::uint32_t s = buf.head;
+        while (idx--)
+            s = buf.slots[s].next;
+        return s;
       }
     }
     panic("unknown drain policy");
 }
 
-std::vector<PersistRecord>
-MemSideBbpb::crashDrain()
+void
+MemSideBbpb::crashDrain(const PersistSink &sink)
 {
-    std::vector<PersistRecord> out;
     for (CoreBuffer &buf : _bufs) {
         // FCFS order within a core (order is irrelevant across blocks
         // since each block has exactly one entry system-wide).
-        for (const auto &kv : buf.fifo) {
-            out.push_back({kv.second, buf.entries.at(kv.second).data});
+        for (std::uint32_t s = buf.head; s != kNil; s = buf.slots[s].next) {
+            sink(buf.slots[s].block, buf.slots[s].data);
             ++_stats.crash_drained;
         }
-        buf.entries.clear();
-        buf.fifo.clear();
+        for (std::uint32_t s = 0; s < buf.slots.size(); ++s) {
+            buf.slots[s].block = kBadAddr;
+            buf.slots[s].next =
+                s + 1 < buf.slots.size() ? s + 1 : kNil;
+        }
+        buf.head = buf.tail = kNil;
+        buf.free_head = 0;
+        buf.count = 0;
         buf.drain_active = false;
     }
-    return out;
+    _index.clear();
 }
 
 // ---------------------------------------------------------------------
@@ -277,24 +353,82 @@ MemSideBbpb::crashDrain()
 ProcSideBbpb::ProcSideBbpb(const SystemConfig &cfg, EventQueue &eq,
                            MemCtrl &nvmm, StatRegistry &stats)
     : _cfg(cfg), _eq(eq), _nvmm(nvmm), _bufs(cfg.num_cores),
+      _index(static_cast<std::size_t>(cfg.num_cores) * cfg.bbpb.entries),
       _threshold(thresholdEntries(cfg.bbpb))
 {
+    for (CoreBuffer &buf : _bufs)
+        buf.ring.resize(_cfg.bbpb.entries);
     _stats.registerWith(stats.group("bbpb_proc"));
+}
+
+ProcSideBbpb::Record &
+ProcSideBbpb::recordAt(CoreBuffer &buf, std::uint32_t i)
+{
+    std::uint32_t pos = buf.head + i;
+    if (pos >= buf.ring.size())
+        pos -= static_cast<std::uint32_t>(buf.ring.size());
+    return buf.ring[pos];
+}
+
+const ProcSideBbpb::Record &
+ProcSideBbpb::recordAt(const CoreBuffer &buf, std::uint32_t i) const
+{
+    std::uint32_t pos = buf.head + i;
+    if (pos >= buf.ring.size())
+        pos -= static_cast<std::uint32_t>(buf.ring.size());
+    return buf.ring[pos];
+}
+
+void
+ProcSideBbpb::indexAddRecord(CoreId c, Addr block)
+{
+    OwnershipIndex::Ref *ref = _index.find(block);
+    if (ref) {
+        BBB_ASSERT(ref->core == c,
+                   "ordered record for block %#llx held by core %u",
+                   (unsigned long long)block, ref->core);
+        ++ref->payload; // another record for the same block
+    } else {
+        _index.insert(block, c, 1);
+    }
+}
+
+void
+ProcSideBbpb::indexDropRecord(Addr block)
+{
+    OwnershipIndex::Ref *ref = _index.find(block);
+    BBB_ASSERT(ref, "dropping unindexed record for block %#llx",
+               (unsigned long long)block);
+    if (--ref->payload == 0)
+        _index.erase(block);
+}
+
+void
+ProcSideBbpb::popFront(CoreBuffer &buf)
+{
+    BBB_ASSERT(buf.count > 0, "pop from empty record ring");
+    indexDropRecord(buf.ring[buf.head].block);
+    buf.ring[buf.head].block = kBadAddr;
+    ++buf.head;
+    if (buf.head >= buf.ring.size())
+        buf.head = 0;
+    --buf.count;
 }
 
 bool
 ProcSideBbpb::canAcceptPersist(CoreId c, Addr block)
 {
-    const CoreBuffer &buf = _bufs.at(c);
+    BBB_ASSERT(c < _bufs.size(), "bbPB access with bad core id %u", c);
+    CoreBuffer &buf = _bufs[c];
     block = blockAlign(block);
     // The only coalescing opportunity (when enabled): a pair of
     // consecutive stores to one block.
-    if (_cfg.bbpb.proc_pairwise_coalescing && !buf.records.empty() &&
-        buf.records.back().block == block &&
-        !buf.records.back().coalesced_once) {
+    if (_cfg.bbpb.proc_pairwise_coalescing && buf.count > 0 &&
+        recordAt(buf, buf.count - 1).block == block &&
+        !recordAt(buf, buf.count - 1).coalesced_once) {
         return true;
     }
-    return buf.records.size() < _cfg.bbpb.entries;
+    return buf.count < _cfg.bbpb.entries;
 }
 
 void
@@ -303,21 +437,28 @@ ProcSideBbpb::persistStore(CoreId c, Addr addr, unsigned size,
 {
     (void)size;
     Addr block = blockAlign(addr);
-    CoreBuffer &buf = _bufs.at(c);
-    _stats.occupancy.sample(buf.records.size());
+    BBB_ASSERT(c < _bufs.size(), "bbPB access with bad core id %u", c);
+    CoreBuffer &buf = _bufs[c];
+    _stats.occupancy.sample(buf.count);
 
-    if (_cfg.bbpb.proc_pairwise_coalescing && !buf.records.empty() &&
-        buf.records.back().block == block &&
-        !buf.records.back().coalesced_once) {
-        buf.records.back().data = line_data;
-        buf.records.back().coalesced_once = true;
-        ++_stats.coalesces;
-        return;
+    if (_cfg.bbpb.proc_pairwise_coalescing && buf.count > 0) {
+        Record &back = recordAt(buf, buf.count - 1);
+        if (back.block == block && !back.coalesced_once) {
+            back.data = line_data;
+            back.coalesced_once = true;
+            ++_stats.coalesces;
+            return;
+        }
     }
 
-    BBB_ASSERT(buf.records.size() < _cfg.bbpb.entries,
+    BBB_ASSERT(buf.count < _cfg.bbpb.entries,
                "persistStore on full processor-side bbPB");
-    buf.records.push_back(Record{block, line_data, false});
+    Record &rec = recordAt(buf, buf.count);
+    rec.block = block;
+    rec.data = line_data;
+    rec.coalesced_once = false;
+    ++buf.count;
+    indexAddRecord(c, block);
     ++_stats.allocations;
     maybeStartDrain(c);
 }
@@ -325,28 +466,29 @@ ProcSideBbpb::persistStore(CoreId c, Addr addr, unsigned size,
 void
 ProcSideBbpb::drainPrefixFor(CoreId c, Addr block)
 {
-    CoreBuffer &buf = _bufs.at(c);
+    BBB_ASSERT(c < _bufs.size(), "bbPB access with bad core id %u", c);
+    CoreBuffer &buf = _bufs[c];
     // Find the last record for the block; everything at or before it must
     // drain first to preserve persist order.
-    std::size_t last = buf.records.size();
-    for (std::size_t i = buf.records.size(); i-- > 0;) {
-        if (buf.records[i].block == block) {
+    std::uint32_t last = buf.count;
+    for (std::uint32_t i = buf.count; i-- > 0;) {
+        if (recordAt(buf, i).block == block) {
             last = i;
             break;
         }
     }
-    if (last == buf.records.size())
+    if (last == buf.count)
         return; // block not buffered
 
-    for (std::size_t i = 0; i <= last; ++i) {
-        const Record &r = buf.records.front();
+    for (std::uint32_t i = 0; i <= last; ++i) {
+        const Record &r = buf.ring[buf.head];
         // Ordering forbids deferring (younger records would overtake),
         // so a full WPQ escalates to a bypass write rather than dropping
         // or reordering the record.
         if (!_nvmm.enqueueWrite(r.block, r.data))
             _nvmm.forceWrite(r.block, r.data);
         ++_stats.forced_drains;
-        buf.records.pop_front();
+        popFront(buf);
     }
 }
 
@@ -363,8 +505,9 @@ ProcSideBbpb::onForcedDrain(Addr block, const BlockData &data)
 {
     (void)data;
     block = blockAlign(block);
-    for (CoreId c = 0; c < _bufs.size(); ++c)
-        drainPrefixFor(c, block);
+    const OwnershipIndex::Ref *ref = _index.find(block);
+    if (ref)
+        drainPrefixFor(ref->core, block);
 }
 
 bool
@@ -378,10 +521,16 @@ ProcSideBbpb::skipLlcWriteback(Addr) const
 bool
 ProcSideBbpb::holds(CoreId c, Addr block) const
 {
-    block = blockAlign(block);
-    const CoreBuffer &buf = _bufs.at(c);
-    return std::any_of(buf.records.begin(), buf.records.end(),
-                       [&](const Record &r) { return r.block == block; });
+    BBB_ASSERT(c < _bufs.size(), "bbPB holds() with bad core id %u", c);
+    const OwnershipIndex::Ref *ref = _index.find(blockAlign(block));
+    return ref && ref->core == c;
+}
+
+CoreId
+ProcSideBbpb::holder(Addr block) const
+{
+    const OwnershipIndex::Ref *ref = _index.find(blockAlign(block));
+    return ref ? ref->core : kNoCore;
 }
 
 void
@@ -389,12 +538,18 @@ ProcSideBbpb::forEachHeld(
     const std::function<void(CoreId, Addr)> &fn) const
 {
     for (CoreId c = 0; c < static_cast<CoreId>(_bufs.size()); ++c) {
+        const CoreBuffer &buf = _bufs[c];
         // Records keep program order; report each block once (a block
-        // may span several store records).
-        std::unordered_set<Addr> seen;
-        for (const Record &r : _bufs[c].records) {
-            if (seen.insert(r.block).second)
-                fn(c, r.block);
+        // may span several store records). The quadratic first-occurrence
+        // scan is bounded by the fixed ring size and only runs on the
+        // cold invariant-check path.
+        for (std::uint32_t i = 0; i < buf.count; ++i) {
+            Addr block = recordAt(buf, i).block;
+            bool first = true;
+            for (std::uint32_t j = 0; j < i && first; ++j)
+                first = recordAt(buf, j).block != block;
+            if (first)
+                fn(c, block);
         }
     }
 }
@@ -404,21 +559,22 @@ ProcSideBbpb::occupancy() const
 {
     std::size_t n = 0;
     for (const CoreBuffer &buf : _bufs)
-        n += buf.records.size();
+        n += buf.count;
     return n;
 }
 
 std::size_t
 ProcSideBbpb::coreOccupancy(CoreId c) const
 {
-    return _bufs.at(c).records.size();
+    BBB_ASSERT(c < _bufs.size(), "bbPB access with bad core id %u", c);
+    return _bufs[c].count;
 }
 
 void
 ProcSideBbpb::maybeStartDrain(CoreId c)
 {
     CoreBuffer &buf = _bufs[c];
-    if (buf.drain_active || buf.records.size() < _threshold)
+    if (buf.drain_active || buf.count < _threshold)
         return;
     buf.drain_active = true;
     _eq.scheduleIn(_cfg.cycles(_cfg.bbpb.drain_latency_cycles),
@@ -430,12 +586,12 @@ void
 ProcSideBbpb::drainStep(CoreId c)
 {
     CoreBuffer &buf = _bufs[c];
-    if (buf.records.size() < _threshold) {
+    if (buf.count < _threshold) {
         buf.drain_active = false;
         return;
     }
 
-    const Record &r = buf.records.front();
+    const Record &r = buf.ring[buf.head];
     if (!_nvmm.enqueueWrite(r.block, r.data)) {
         ++_stats.wpq_retries;
         _eq.scheduleIn(_cfg.cycles(_cfg.bbpb.retry_cycles),
@@ -443,10 +599,10 @@ ProcSideBbpb::drainStep(CoreId c)
                        EventPriority::DrainComplete);
         return;
     }
-    buf.records.pop_front();
+    popFront(buf);
     ++_stats.drains;
 
-    if (buf.records.size() >= _threshold) {
+    if (buf.count >= _threshold) {
         _eq.scheduleIn(_cfg.cycles(_cfg.bbpb.drain_issue_cycles),
                        [this, c]() { drainStep(c); },
                        EventPriority::DrainComplete);
@@ -455,19 +611,20 @@ ProcSideBbpb::drainStep(CoreId c)
     }
 }
 
-std::vector<PersistRecord>
-ProcSideBbpb::crashDrain()
+void
+ProcSideBbpb::crashDrain(const PersistSink &sink)
 {
-    std::vector<PersistRecord> out;
     for (CoreBuffer &buf : _bufs) {
-        for (const Record &r : buf.records) {
-            out.push_back({r.block, r.data});
+        for (std::uint32_t i = 0; i < buf.count; ++i) {
+            const Record &r = recordAt(buf, i);
+            sink(r.block, r.data);
             ++_stats.crash_drained;
         }
-        buf.records.clear();
+        buf.head = 0;
+        buf.count = 0;
         buf.drain_active = false;
     }
-    return out;
+    _index.clear();
 }
 
 } // namespace bbb

@@ -19,17 +19,22 @@
  * Both implement the PersistencyBackend hooks the cache hierarchy calls,
  * and both run an event-driven drain engine against the NVMM controller's
  * WPQ with the occupancy-threshold policy of Section III-F.
+ *
+ * Storage is allocation-free after construction, mirroring the paper's
+ * "tiny fixed SRAM" framing: the memory-side buffers are per-core slabs
+ * of cfg.bbpb.entries slots threaded on an intrusive doubly-linked FCFS
+ * list plus a free list, the processor-side buffers are fixed rings, and
+ * both resolve ownership through one system-wide OwnershipIndex
+ * (block -> (core, slot)), so holds()/holder()/migration are O(1).
  */
 
 #ifndef BBB_CORE_BBPB_HH
 #define BBB_CORE_BBPB_HH
 
 #include <cstdint>
-#include <deque>
-#include <map>
-#include <unordered_map>
 #include <vector>
 
+#include "core/ownership_index.hh"
 #include "core/persist_backend.hh"
 #include "mem/mem_ctrl.hh"
 #include "sim/config.hh"
@@ -75,10 +80,11 @@ class MemSideBbpb : public PersistencyBackend
     void onForcedDrain(Addr block, const BlockData &data) override;
     bool skipLlcWriteback(Addr block) const override;
     bool holds(CoreId c, Addr block) const override;
+    CoreId holder(Addr block) const override;
     void forEachHeld(
         const std::function<void(CoreId, Addr)> &fn) const override;
     std::size_t occupancy() const override;
-    std::vector<PersistRecord> crashDrain() override;
+    void crashDrain(const PersistSink &sink) override;
 
     /** Occupancy of one core's buffer. */
     std::size_t coreOccupancy(CoreId c) const;
@@ -89,24 +95,47 @@ class MemSideBbpb : public PersistencyBackend
     const BbpbStats &stats() const { return _stats; }
 
   private:
-    struct Entry
+    /** Slot index marking "no slot" (list ends, empty free list). */
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /**
+     * One slab slot. Live slots sit on the per-core FCFS list (oldest
+     * allocation at the head — seq order, since coalescing never relinks);
+     * free slots are chained through `next`.
+     */
+    struct Slot
     {
         BlockData data;
-        std::uint64_t seq;       ///< allocation order, for FCFS draining
-        std::uint64_t write_seq; ///< last coalescing write, for LRW
-        Tick alloc_tick;         ///< allocation time, for residency stats
+        Addr block = kBadAddr;
+        std::uint64_t seq = 0;       ///< allocation order, FCFS draining
+        std::uint64_t write_seq = 0; ///< last coalescing write, for LRW
+        Tick alloc_tick = 0;         ///< allocation time, residency stats
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
     };
 
     struct CoreBuffer
     {
-        std::unordered_map<Addr, Entry> entries;
-        /** FCFS order: seq -> block (ordered map iterates oldest-first). */
-        std::map<std::uint64_t, Addr> fifo;
+        std::vector<Slot> slots; ///< fixed at cfg.bbpb.entries
+        std::uint32_t head = kNil;      ///< FCFS list, oldest entry
+        std::uint32_t tail = kNil;      ///< FCFS list, newest entry
+        std::uint32_t free_head = 0;    ///< free-slot chain
+        std::uint32_t count = 0;
         bool drain_active = false;
     };
 
-    /** Pick the block the drain policy evicts next from @p buf. */
-    Addr drainVictim(const CoreBuffer &buf);
+    CoreBuffer &buffer(CoreId c);
+    const CoreBuffer &buffer(CoreId c) const;
+
+    /** Allocate a free slot for @p block and append it to the FCFS tail. */
+    std::uint32_t allocSlot(CoreId c, CoreBuffer &buf, Addr block);
+
+    /** Unlink slot @p s from core @p c's FCFS list, free it, and drop the
+     *  block from the ownership index. */
+    void removeSlot(CoreId c, CoreBuffer &buf, std::uint32_t s);
+
+    /** Pick the slot the drain policy evicts next from @p buf. */
+    std::uint32_t drainVictim(const CoreBuffer &buf);
 
     /** Start the drain engine for core @p c if policy demands it. */
     void maybeStartDrain(CoreId c);
@@ -114,13 +143,11 @@ class MemSideBbpb : public PersistencyBackend
     /** One drain step: move the FCFS-oldest entry toward the WPQ. */
     void drainStep(CoreId c);
 
-    /** Remove an entry from all bookkeeping. */
-    void removeEntry(CoreBuffer &buf, Addr block);
-
     SystemConfig _cfg;
     EventQueue &_eq;
     MemCtrl &_nvmm;
     std::vector<CoreBuffer> _bufs;
+    OwnershipIndex _index;
     std::uint64_t _next_seq = 0;
     unsigned _threshold;
     Rng _drain_rng;
@@ -143,10 +170,11 @@ class ProcSideBbpb : public PersistencyBackend
     void onForcedDrain(Addr block, const BlockData &data) override;
     bool skipLlcWriteback(Addr block) const override;
     bool holds(CoreId c, Addr block) const override;
+    CoreId holder(Addr block) const override;
     void forEachHeld(
         const std::function<void(CoreId, Addr)> &fn) const override;
     std::size_t occupancy() const override;
-    std::vector<PersistRecord> crashDrain() override;
+    void crashDrain(const PersistSink &sink) override;
 
     std::size_t coreOccupancy(CoreId c) const;
 
@@ -155,7 +183,7 @@ class ProcSideBbpb : public PersistencyBackend
   private:
     struct Record
     {
-        Addr block;
+        Addr block = kBadAddr;
         BlockData data;
         /**
          * Ordered records permit only the paper's special case: "two
@@ -165,11 +193,27 @@ class ProcSideBbpb : public PersistencyBackend
         bool coalesced_once = false;
     };
 
+    /** Fixed ring of ordered records; front (head) is the oldest. */
     struct CoreBuffer
     {
-        std::deque<Record> records; ///< program order, front = oldest
+        std::vector<Record> ring; ///< fixed at cfg.bbpb.entries
+        std::uint32_t head = 0;
+        std::uint32_t count = 0;
         bool drain_active = false;
     };
+
+    Record &recordAt(CoreBuffer &buf, std::uint32_t i);
+    const Record &recordAt(const CoreBuffer &buf, std::uint32_t i) const;
+
+    /** Count one more record for @p block in @p c's ring (index refcount
+     *  — a block may span several ordered records of one core). */
+    void indexAddRecord(CoreId c, Addr block);
+
+    /** Drop one record's worth of refcount for @p block. */
+    void indexDropRecord(Addr block);
+
+    /** Pop the front record, releasing its index refcount. */
+    void popFront(CoreBuffer &buf);
 
     void maybeStartDrain(CoreId c);
     void drainStep(CoreId c);
@@ -182,6 +226,7 @@ class ProcSideBbpb : public PersistencyBackend
     EventQueue &_eq;
     MemCtrl &_nvmm;
     std::vector<CoreBuffer> _bufs;
+    OwnershipIndex _index;
     unsigned _threshold;
     BbpbStats _stats;
 };

@@ -199,20 +199,20 @@ CrashEngine::crash(Tick now)
 
       case PersistMode::BbbMemSide:
       case PersistMode::BbbProcSide: {
-        // crashDrain() returns FCFS allocation order == persist order.
-        auto records = _backend.crashDrain();
-        for (const auto &rec : records) {
+        // crashDrain() streams FCFS allocation order == persist order;
+        // each block is applied as it passes, no intermediate copies.
+        _backend.crashDrain([&](Addr block, const BlockData &data) {
             if (batteryAllows(kBlockSize, l1_rate_j)) {
-                writeDrainedBlock(rec.block, rec.data);
+                writeDrainedBlock(block, data);
                 ++rep.bbpb_blocks;
                 l1_rate_bytes += kBlockSize;
                 noteDrained();
             } else {
                 sacrificed_seen = true;
                 ++rep.sacrificed_blocks;
-                _faults->noteSacrificed(rec.block, rec.data);
+                _faults->noteSacrificed(block, data);
             }
-        }
+        });
         break;
       }
     }

@@ -82,6 +82,15 @@ class PersistencyBackend
     virtual bool holds(CoreId c, Addr block) const = 0;
 
     /**
+     * The core whose buffer holds @p block, or kNoCore. Invariant 4
+     * guarantees the answer is unique, so the hierarchy's ownership
+     * checks (migration on a remote persisting store, forced drain on
+     * LLC eviction, the dirty-inclusion walk) are one lookup instead of
+     * a per-core probe loop.
+     */
+    virtual CoreId holder(Addr block) const = 0;
+
+    /**
      * Invoke @p fn(holder, block) once per block currently held in a
      * persist buffer, in a deterministic order. Lets the invariant
      * checker walk the persistence domain from the bbPB side — a held
@@ -93,12 +102,28 @@ class PersistencyBackend
     /** Total blocks currently in the backend's persistence buffers. */
     virtual std::size_t occupancy() const = 0;
 
+    /** Receives one (block, data) pair per crash-drained entry. */
+    using PersistSink = std::function<void(Addr, const BlockData &)>;
+
     /**
-     * Crash: return every (block, data) pair held in the backend's part of
-     * the persistence domain, clearing the buffers. The crash engine
-     * applies these to the NVMM image and charges the battery model.
+     * Crash: feed every (block, data) pair held in the backend's part of
+     * the persistence domain to @p sink in persist order, clearing the
+     * buffers. The crash engine applies the pairs to the NVMM image and
+     * charges the battery model as they stream past — no intermediate
+     * vector of 64 B copies is built.
      */
-    virtual std::vector<PersistRecord> crashDrain() = 0;
+    virtual void crashDrain(const PersistSink &sink) = 0;
+
+    /** Convenience crashDrain() that materialises the records (tests). */
+    std::vector<PersistRecord>
+    crashDrainRecords()
+    {
+        std::vector<PersistRecord> out;
+        crashDrain([&](Addr block, const BlockData &data) {
+            out.push_back({block, data});
+        });
+        return out;
+    }
 };
 
 /**
@@ -115,12 +140,13 @@ class NullPersistencyBackend : public PersistencyBackend
     void onForcedDrain(Addr, const BlockData &) override {}
     bool skipLlcWriteback(Addr) const override { return false; }
     bool holds(CoreId, Addr) const override { return false; }
+    CoreId holder(Addr) const override { return kNoCore; }
     void
     forEachHeld(const std::function<void(CoreId, Addr)> &) const override
     {
     }
     std::size_t occupancy() const override { return 0; }
-    std::vector<PersistRecord> crashDrain() override { return {}; }
+    void crashDrain(const PersistSink &) override {}
 };
 
 } // namespace bbb

@@ -9,6 +9,12 @@
  *
  * Storage is allocated in 4 KiB pages on first touch so an 8+8 GB address
  * space costs only what the workloads actually touch.
+ *
+ * Accesses are dominated by 8-byte scalars (the functional ImageAccessor
+ * used for workload warm-up) and single cache blocks, so lookups go
+ * through a small direct-mapped cache of page pointers in front of the
+ * hash map; unordered_map nodes are pointer-stable, which makes the
+ * cached pointers safe until clear(). Copies and moves reset the cache.
  */
 
 #ifndef BBB_MEM_BACKING_STORE_HH
@@ -32,6 +38,24 @@ class BackingStore
   public:
     static constexpr std::uint64_t kPageSize = 4096;
 
+    BackingStore() = default;
+    BackingStore(const BackingStore &o) : _pages(o._pages) {}
+    BackingStore(BackingStore &&o) noexcept : _pages(std::move(o._pages)) {}
+    BackingStore &
+    operator=(const BackingStore &o)
+    {
+        _pages = o._pages;
+        resetCache();
+        return *this;
+    }
+    BackingStore &
+    operator=(BackingStore &&o) noexcept
+    {
+        _pages = std::move(o._pages);
+        resetCache();
+        return *this;
+    }
+
     /** Read @p size bytes at @p addr into @p out. Unbacked bytes are 0. */
     void
     read(Addr addr, void *out, std::size_t size) const
@@ -41,11 +65,11 @@ class BackingStore
             Addr page = addr / kPageSize;
             std::size_t off = addr % kPageSize;
             std::size_t chunk = std::min(size, kPageSize - off);
-            auto it = _pages.find(page);
-            if (it == _pages.end())
+            const Page *p = lookup(page);
+            if (!p)
                 std::memset(dst, 0, chunk);
             else
-                std::memcpy(dst, it->second.data() + off, chunk);
+                std::memcpy(dst, p->data() + off, chunk);
             dst += chunk;
             addr += chunk;
             size -= chunk;
@@ -85,10 +109,19 @@ class BackingStore
         write(block_addr, src, kBlockSize);
     }
 
-    /** Convenience scalar accessors. */
+    /** Convenience scalar accessors (fast path: within one page). */
     std::uint64_t
     read64(Addr addr) const
     {
+        std::size_t off = addr % kPageSize;
+        if (off + sizeof(std::uint64_t) <= kPageSize) {
+            const Page *p = lookup(addr / kPageSize);
+            if (!p)
+                return 0;
+            std::uint64_t v;
+            std::memcpy(&v, p->data() + off, sizeof(v));
+            return v;
+        }
         std::uint64_t v = 0;
         read(addr, &v, sizeof(v));
         return v;
@@ -97,6 +130,12 @@ class BackingStore
     void
     write64(Addr addr, std::uint64_t v)
     {
+        std::size_t off = addr % kPageSize;
+        if (off + sizeof(v) <= kPageSize) {
+            std::memcpy(touch(addr / kPageSize).data() + off, &v,
+                        sizeof(v));
+            return;
+        }
         write(addr, &v, sizeof(v));
     }
 
@@ -104,7 +143,12 @@ class BackingStore
     std::size_t pagesTouched() const { return _pages.size(); }
 
     /** Drop all content (fresh zeroed memory). */
-    void clear() { _pages.clear(); }
+    void
+    clear()
+    {
+        _pages.clear();
+        resetCache();
+    }
 
     /** Deep copy of the image (used to snapshot the post-crash state). */
     BackingStore clone() const { return *this; }
@@ -147,17 +191,50 @@ class BackingStore
   private:
     using Page = std::array<unsigned char, kPageSize>;
 
+    /** Direct-mapped page-pointer cache slots (power of two). */
+    static constexpr std::size_t kCacheWays = 64;
+
+    struct CacheEnt
+    {
+        Addr page = kBadAddr;
+        Page *ptr = nullptr; // nullptr with matching page = known absent
+    };
+
+    /** Page lookup through the cache; nullptr if not materialised. */
+    Page *
+    lookup(Addr page) const
+    {
+        CacheEnt &e = _cache[page & (kCacheWays - 1)];
+        if (e.page != page) {
+            auto it = _pages.find(page);
+            e.page = page;
+            e.ptr = it == _pages.end()
+                        ? nullptr
+                        : const_cast<Page *>(&it->second);
+        }
+        return e.ptr;
+    }
+
     Page &
     touch(Addr page)
     {
-        auto it = _pages.find(page);
-        if (it == _pages.end()) {
-            it = _pages.emplace(page, Page{}).first;
-        }
-        return it->second;
+        CacheEnt &e = _cache[page & (kCacheWays - 1)];
+        if (e.page == page && e.ptr)
+            return *e.ptr;
+        Page &p = _pages[page]; // value-initialised (zeroed) on insert
+        e.page = page;
+        e.ptr = &p;
+        return p;
+    }
+
+    void
+    resetCache() const
+    {
+        _cache.fill(CacheEnt{});
     }
 
     std::unordered_map<Addr, Page> _pages;
+    mutable std::array<CacheEnt, kCacheWays> _cache{};
 };
 
 } // namespace bbb

@@ -245,6 +245,22 @@ struct SystemConfig
         return mode == PersistMode::BbbMemSide ||
                mode == PersistMode::BbbProcSide;
     }
+
+    /**
+     * Upper bound on simultaneously-pending events, for pre-sizing the
+     * EventQueue heap so it never reallocates mid-run. Every event source
+     * is bounded: per-core drivers and store-buffer drains, one drain
+     * engine per bbPB, in-flight WPQ/channel completions. Deliberately
+     * generous — a few unused slots cost bytes, a mid-run reallocation
+     * costs a heap copy on the hot path.
+     */
+    std::size_t
+    eventCapacityHint() const
+    {
+        std::size_t per_core = 8 + store_buffer.entries;
+        return num_cores * per_core + nvmm.wpq_entries + nvmm.channels +
+               dram.channels + 64;
+    }
 };
 
 } // namespace bbb

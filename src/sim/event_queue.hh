@@ -160,6 +160,14 @@ class EventQueue
     /** Total events executed so far. */
     std::uint64_t executed() const { return _executed; }
 
+    /** Pre-size the heap storage for @p n simultaneous events so the
+     *  vector never reallocates mid-run (see
+     *  SystemConfig::eventCapacityHint). */
+    void reserve(std::size_t n) { _heap.reserve(n); }
+
+    /** Heap storage currently reserved (test hook). */
+    std::size_t heapCapacity() const { return _heap.capacity(); }
+
   private:
     struct Entry
     {

@@ -8,8 +8,11 @@
  * (the core model) resumes the fiber when the operation's latency has
  * elapsed in simulated time.
  *
- * Implementation uses POSIX ucontext, which is available on the Linux
- * targets this simulator supports.
+ * On x86-64 (without ASan/TSan, which need to see the switch) the switch
+ * is a register-only stack swap: glibc's swapcontext saves and restores
+ * the signal mask with two syscalls per switch, which dominated fiber
+ * cost at one suspend per simulated memory operation. Other targets and
+ * sanitized builds keep the POSIX ucontext implementation.
  */
 
 #ifndef BBB_SIM_FIBER_HH
@@ -60,6 +63,10 @@ class Fiber
   private:
     static void trampoline();
 
+    // Raw x86-64 switch state: the suspended stack pointers of the fiber
+    // and of whoever resumed it (unused when the ucontext path is built).
+    void *_sp = nullptr;
+    void *_caller_sp = nullptr;
     ucontext_t _context;
     ucontext_t _caller;
     std::vector<unsigned char> _stack;

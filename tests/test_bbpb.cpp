@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
 #include "core/bbpb.hh"
 #include "mem/backing_store.hh"
 #include "sim/event_queue.hh"
@@ -92,7 +97,7 @@ TEST(MemSideBbpb, CoalescingUpdatesDataWithoutNewEntry)
     bbpb.persistStore(0, blk(0) + 8, 8, pattern(7));
     EXPECT_EQ(bbpb.coreOccupancy(0), 1u);
     EXPECT_EQ(bbpb.stats().coalesces.value(), 1u);
-    auto records = bbpb.crashDrain();
+    auto records = bbpb.crashDrainRecords();
     ASSERT_EQ(records.size(), 1u);
     EXPECT_EQ(records[0].data.bytes[0], 7); // newest full-line data
 }
@@ -178,7 +183,7 @@ TEST(MemSideBbpb, CrashDrainReturnsAllEntriesAndClears)
     bbpb.persistStore(0, blk(0), 8, pattern(1));
     bbpb.persistStore(1, blk(1), 8, pattern(2));
     bbpb.persistStore(1, blk(2), 8, pattern(3));
-    auto records = bbpb.crashDrain();
+    auto records = bbpb.crashDrainRecords();
     EXPECT_EQ(records.size(), 3u);
     EXPECT_EQ(bbpb.occupancy(), 0u);
     EXPECT_EQ(bbpb.stats().crash_drained.value(), 3u);
@@ -257,7 +262,7 @@ TEST(ProcSideBbpb, CrashDrainPreservesProgramOrder)
     bbpb.persistStore(0, blk(2), 8, pattern(1));
     bbpb.persistStore(0, blk(0), 8, pattern(2));
     bbpb.persistStore(0, blk(2), 8, pattern(3));
-    auto records = bbpb.crashDrain();
+    auto records = bbpb.crashDrainRecords();
     ASSERT_EQ(records.size(), 3u);
     EXPECT_EQ(records[0].block, blk(2));
     EXPECT_EQ(records[1].block, blk(0));
@@ -302,3 +307,158 @@ TEST_P(BbpbThreshold, OccupancySettlesBelowThreshold)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, BbpbThreshold,
                          ::testing::Values(1, 2, 4, 8, 32, 128));
+
+// ---------------------------------------------------------------------
+// Golden drain-order trace: the slab storage against a reference model
+// with the old map-plus-fifo semantics.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Reference model of the memory-side bbPB semantics as the original
+ * std::unordered_map + std::map implementation defined them: per-core
+ * FCFS allocation order, coalescing never refreshes age, migration and
+ * forced drain remove without reordering, FCFS draining removes the
+ * oldest allocation once the occupancy reaches the threshold.
+ */
+struct FcfsModel
+{
+    struct Core
+    {
+        std::vector<Addr> fifo; // oldest first
+        std::map<Addr, BlockData> data;
+    };
+
+    std::vector<Core> cores;
+    unsigned threshold;
+
+    FcfsModel(unsigned num_cores, unsigned entries, double frac)
+        : cores(num_cores),
+          threshold(std::clamp(
+              static_cast<unsigned>(std::ceil(frac * entries)), 1u,
+              entries))
+    {
+    }
+
+    bool
+    heldAnywhere(Addr block, CoreId *who = nullptr) const
+    {
+        for (CoreId c = 0; c < cores.size(); ++c) {
+            if (cores[c].data.count(block)) {
+                if (who)
+                    *who = c;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    persistStore(CoreId c, Addr block, const BlockData &d)
+    {
+        Core &core = cores[c];
+        if (core.data.count(block)) {
+            core.data[block] = d; // coalesce: age unchanged
+            return;
+        }
+        core.fifo.push_back(block);
+        core.data[block] = d;
+    }
+
+    void
+    remove(CoreId c, Addr block)
+    {
+        Core &core = cores[c];
+        core.data.erase(block);
+        core.fifo.erase(
+            std::find(core.fifo.begin(), core.fifo.end(), block));
+    }
+
+    /** Settle after the event queue ran dry: FCFS drain to below the
+     *  threshold (the WPQ always clears when the queue runs dry). */
+    void
+    settle()
+    {
+        for (Core &core : cores) {
+            while (core.fifo.size() >= threshold) {
+                core.data.erase(core.fifo.front());
+                core.fifo.erase(core.fifo.begin());
+            }
+        }
+    }
+};
+
+} // namespace
+
+TEST(MemSideBbpbGolden, SlabMatchesMapSemanticsOnRandomTrace)
+{
+    constexpr unsigned kEntries = 8;
+    constexpr double kThreshold = 0.75;
+    Rig rig(kEntries, kThreshold);
+    MemSideBbpb bbpb(rig.cfg, rig.eq, rig.nvmm, rig.stats);
+    FcfsModel model(rig.cfg.num_cores, kEntries, kThreshold);
+
+    Rng rng(0xfeedu);
+    for (unsigned step = 0; step < 4000; ++step) {
+        CoreId c = static_cast<CoreId>(rng.below(rig.cfg.num_cores));
+        Addr block = blk(static_cast<unsigned>(rng.below(24)));
+        std::uint64_t action = rng.below(10);
+
+        if (action < 7) {
+            // A persisting store by core c, with the hierarchy's
+            // migration protocol in front of it.
+            CoreId who = kNoCore;
+            if (model.heldAnywhere(block, &who) && who != c) {
+                bbpb.onInvalidateForWrite(who, block);
+                model.remove(who, block);
+            }
+            if (!bbpb.canAcceptPersist(c, block))
+                continue; // rejection: store retries later
+            BlockData d = pattern(static_cast<unsigned char>(step));
+            bbpb.persistStore(c, block, 8, d);
+            model.persistStore(c, block, d);
+        } else if (action < 9) {
+            // LLC eviction: forced drain wherever the block is held.
+            if (model.heldAnywhere(block)) {
+                CoreId who = kNoCore;
+                model.heldAnywhere(block, &who);
+                bbpb.onForcedDrain(block, pattern(0xee));
+                model.remove(who, block);
+            }
+        }
+        // Let drains settle completely, then the model mirrors the
+        // "drain until below threshold" steady state.
+        rig.eq.run();
+        model.settle();
+
+        ASSERT_EQ(bbpb.occupancy(),
+                  model.cores[0].fifo.size() + model.cores[1].fifo.size())
+            << "step " << step;
+        for (CoreId mc = 0; mc < rig.cfg.num_cores; ++mc) {
+            std::vector<Addr> got;
+            bbpb.forEachHeld([&](CoreId hc, Addr b) {
+                if (hc == mc)
+                    got.push_back(b);
+            });
+            ASSERT_EQ(got, model.cores[mc].fifo)
+                << "drain order diverged at step " << step << " core "
+                << mc;
+        }
+    }
+
+    // Crash drain: FCFS per core, with the latest coalesced data.
+    auto records = bbpb.crashDrainRecords();
+    std::size_t i = 0;
+    for (CoreId c = 0; c < rig.cfg.num_cores; ++c) {
+        for (Addr b : model.cores[c].fifo) {
+            ASSERT_LT(i, records.size());
+            EXPECT_EQ(records[i].block, b);
+            EXPECT_EQ(records[i].data.bytes,
+                      model.cores[c].data.at(b).bytes);
+            ++i;
+        }
+    }
+    EXPECT_EQ(i, records.size());
+}

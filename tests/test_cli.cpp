@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the shared bbb::cli argument helpers, in particular
+ * the `--strict-args` hard-error mode the campaign drivers pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/cli.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+/** Build a mutable argv from string literals (argv[0] is the binary). */
+struct Argv
+{
+    explicit Argv(std::vector<std::string> args) : _strings(std::move(args))
+    {
+        _strings.insert(_strings.begin(), "test-binary");
+        for (std::string &s : _strings)
+            _ptrs.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(_ptrs.size()); }
+    char **argv() { return _ptrs.data(); }
+
+  private:
+    std::vector<std::string> _strings;
+    std::vector<char *> _ptrs;
+};
+
+} // namespace
+
+TEST(Cli, StringOptLastOccurrenceWins)
+{
+    Argv a({"--json", "first.json", "--json", "second.json"});
+    EXPECT_EQ(cli::stringOpt(a.argc(), a.argv(), "--json"), "second.json");
+}
+
+TEST(Cli, TrailingFlagWarnsAndKeepsPreviousValue)
+{
+    Argv a({"--json", "kept.json", "--json"});
+    EXPECT_EQ(cli::stringOpt(a.argc(), a.argv(), "--json"), "kept.json");
+}
+
+TEST(Cli, StrictArgsFlagDetected)
+{
+    Argv with({"--strict-args"});
+    Argv without({"--fast"});
+    EXPECT_TRUE(cli::strictArgs(with.argc(), with.argv()));
+    EXPECT_FALSE(cli::strictArgs(without.argc(), without.argv()));
+}
+
+TEST(Cli, StrictArgsAcceptsWellFormedFlags)
+{
+    Argv a({"--strict-args", "--json", "out.json", "--jobs", "4"});
+    EXPECT_EQ(cli::stringOpt(a.argc(), a.argv(), "--json"), "out.json");
+    EXPECT_EQ(cli::jobsArg(a.argc(), a.argv()), 4u);
+}
+
+TEST(CliDeath, StrictArgsMakesTrailingFlagFatal)
+{
+    Argv a({"--strict-args", "--json"});
+    EXPECT_EXIT(cli::stringOpt(a.argc(), a.argv(), "--json"),
+                ::testing::ExitedWithCode(2), "--json requires a value");
+}
+
+TEST(CliDeath, StrictArgsAppliesToAnyStringFlag)
+{
+    Argv a({"--strict-args", "--workloads"});
+    EXPECT_EXIT(cli::stringOpt(a.argc(), a.argv(), "--workloads"),
+                ::testing::ExitedWithCode(2),
+                "--workloads requires a value");
+}

@@ -115,7 +115,7 @@ TEST_P(EveryDrainPolicy, DrainsNeverLoseData)
     }
     // Crash-drain the rest and apply like the crash engine would.
     rig.eq.run();
-    for (const auto &rec : bbpb.crashDrain())
+    for (const auto &rec : bbpb.crashDrainRecords())
         rig.store.writeBlock(rec.block, rec.data.bytes.data());
     rig.nvmm.drainAllToMedia();
     for (const auto &[b, v] : newest) {

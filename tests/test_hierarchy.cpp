@@ -69,6 +69,16 @@ class RecordingBackend : public PersistencyBackend
         return held.count({c, blockAlign(block)}) != 0;
     }
 
+    CoreId
+    holder(Addr block) const override
+    {
+        for (const auto &kv : held) {
+            if (kv.second == blockAlign(block))
+                return kv.first;
+        }
+        return kNoCore;
+    }
+
     void
     forEachHeld(
         const std::function<void(CoreId, Addr)> &fn) const override
@@ -78,7 +88,7 @@ class RecordingBackend : public PersistencyBackend
     }
 
     std::size_t occupancy() const override { return held.size(); }
-    std::vector<PersistRecord> crashDrain() override { return {}; }
+    void crashDrain(const PersistSink &) override {}
 };
 
 struct Rig

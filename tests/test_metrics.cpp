@@ -124,6 +124,11 @@ TEST(ExperimentMetrics, ResultCarriesMetricTree)
 
 TEST(ExperimentMetrics, SerialAndParallelMetricsBitIdentical)
 {
+    // Canonical mode zeroes the host-rate leaves of the `sim` group
+    // (sim.host_seconds and friends vary with host scheduling); every
+    // other metric — including the sim.ops / sim.events_fired counts —
+    // must be bit-identical at any jobs width.
+    CanonicalGuard guard(true);
     std::vector<ExperimentSpec> specs;
     for (const char *w : {"hashmap", "linkedlist", "mutateC", "hashmap"})
         specs.push_back({tinyCfg(), w, tinyParams()});
@@ -135,6 +140,43 @@ TEST(ExperimentMetrics, SerialAndParallelMetricsBitIdentical)
     for (std::size_t i = 0; i < serial.size(); ++i)
         EXPECT_EQ(serial[i].metrics.toJson(), wide[i].metrics.toJson())
             << "spec " << i;
+}
+
+TEST(ExperimentMetrics, SimGroupCountsDeterministicRatesHostBound)
+{
+    // Non-canonical runs may disagree on the host-rate leaves but never
+    // on the simulated counts.
+    CanonicalGuard guard(false);
+    std::vector<ExperimentSpec> specs = {
+        {tinyCfg(), "hashmap", tinyParams()}};
+    ExperimentResult a = runExperiments(specs, 1).at(0);
+    ExperimentResult b = runExperiments(specs, 1).at(0);
+
+    EXPECT_GT(a.metrics.count("sim.ops"), 0u);
+    EXPECT_GT(a.metrics.count("sim.events_fired"), 0u);
+    EXPECT_EQ(a.metrics.count("sim.ops"), b.metrics.count("sim.ops"));
+    EXPECT_EQ(a.metrics.count("sim.events_fired"),
+              b.metrics.count("sim.events_fired"));
+    // ops counts loads + stores, so it bounds the store count.
+    EXPECT_GE(a.metrics.count("sim.ops"),
+              a.metrics.count("hierarchy.stores"));
+    // The run took nonzero host time, so the rate leaves are live.
+    EXPECT_GT(a.metrics.real("sim.host_seconds"), 0.0);
+    EXPECT_GT(a.metrics.real("sim.events_per_sec"), 0.0);
+    EXPECT_GT(a.metrics.real("sim.host_ns_per_op"), 0.0);
+}
+
+TEST(ExperimentMetrics, CanonicalModeZeroesSimRateLeaves)
+{
+    CanonicalGuard guard(true);
+    std::vector<ExperimentSpec> specs = {
+        {tinyCfg(), "hashmap", tinyParams()}};
+    ExperimentResult r = runExperiments(specs, 1).at(0);
+    EXPECT_GT(r.metrics.count("sim.ops"), 0u);
+    EXPECT_GT(r.metrics.count("sim.events_fired"), 0u);
+    EXPECT_EQ(r.metrics.real("sim.host_seconds"), 0.0);
+    EXPECT_EQ(r.metrics.real("sim.events_per_sec"), 0.0);
+    EXPECT_EQ(r.metrics.real("sim.host_ns_per_op"), 0.0);
 }
 
 TEST(BenchReport, DocumentSectionsInFixedOrder)
@@ -189,7 +231,11 @@ TEST(BenchReport, GoldenBytes)
                            "  \"experiments\": [],\n"
                            "  \"host\": {\n"
                            "    \"jobs\": 0,\n"
-                           "    \"wall_clock_s\": 0\n"
+                           "    \"wall_clock_s\": 0,\n"
+                           "    \"sim_ops\": 0,\n"
+                           "    \"events_fired\": 0,\n"
+                           "    \"events_per_sec\": 0,\n"
+                           "    \"ns_per_op\": 0\n"
                            "  }\n"
                            "}\n";
     EXPECT_EQ(rep.toJson(), expected);
@@ -199,6 +245,7 @@ TEST(BenchReport, CanonicalModeZeroesHostSection)
 {
     BenchReport rep("canon");
     rep.noteRun(1.25, 16);
+    rep.noteSim(1000, 5000);
     std::string normal, canonical;
     {
         CanonicalGuard guard(false);
@@ -210,8 +257,13 @@ TEST(BenchReport, CanonicalModeZeroesHostSection)
         canonical = rep.toJson();
     }
     EXPECT_NE(normal.find("\"jobs\": 16"), std::string::npos);
+    EXPECT_NE(normal.find("\"sim_ops\": 1000"), std::string::npos);
+    EXPECT_NE(normal.find("\"events_fired\": 5000"), std::string::npos);
+    EXPECT_NE(normal.find("\"events_per_sec\": 4000"), std::string::npos);
     EXPECT_NE(canonical.find("\"jobs\": 0"), std::string::npos);
     EXPECT_NE(canonical.find("\"wall_clock_s\": 0"), std::string::npos);
+    EXPECT_NE(canonical.find("\"sim_ops\": 0"), std::string::npos);
+    EXPECT_NE(canonical.find("\"events_per_sec\": 0"), std::string::npos);
     EXPECT_EQ(canonical.find("1.25"), std::string::npos);
     // Everything but the host section is shared.
     EXPECT_EQ(normal.substr(0, normal.find("\"host\"")),

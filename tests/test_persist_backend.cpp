@@ -29,7 +29,7 @@ TEST(NullBackend, HooksAreNoops)
     backend.onInvalidateForWrite(0, 64);
     backend.onForcedDrain(64, data);
     EXPECT_FALSE(backend.skipLlcWriteback(64)); // normal writebacks
-    EXPECT_TRUE(backend.crashDrain().empty());
+    EXPECT_TRUE(backend.crashDrainRecords().empty());
 }
 
 TEST(PersistRecord, CarriesBlockAndData)

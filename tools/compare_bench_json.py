@@ -35,6 +35,20 @@ SCHEMA_VERSION = 1
 SECTIONS = ["schema", "schema_version", "bench", "config", "paper",
             "measured", "experiments", "host"]
 
+# The host section: run description plus simulator-throughput summary
+# (all zeroed under BBB_REPORT_CANONICAL=1). Reports written before the
+# sim-rate telemetry carry only the REQUIRED keys; new writers emit all
+# of HOST_KEYS.
+HOST_KEYS = {"jobs", "wall_clock_s", "sim_ops", "events_fired",
+             "events_per_sec", "ns_per_op"}
+HOST_REQUIRED_KEYS = {"jobs", "wall_clock_s"}
+
+# Metric leaves inside measured/experiments that are derived from host
+# wall clock (see System::snapshotMetrics): excluded from diff the same
+# way the host section is.
+HOST_RATE_LEAVES = ("sim.host_seconds", "sim.events_per_sec",
+                    "sim.host_ns_per_op")
+
 
 def fail(msg):
     print(f"error: {msg}", file=sys.stderr)
@@ -110,10 +124,12 @@ def validate_doc(doc, name):
             _check_metric_tree(entry["metrics"], f"{where}.metrics", errors)
 
     host = doc["host"]
-    if (not isinstance(host, dict) or set(host) != {"jobs", "wall_clock_s"}
-            or not _is_number(host.get("jobs", None))
-            or not _is_number(host.get("wall_clock_s", None))):
-        errors.append(f"{name}: 'host' must be {{jobs, wall_clock_s}} "
+    if (not isinstance(host, dict)
+            or not HOST_REQUIRED_KEYS <= set(host) <= HOST_KEYS
+            or not all(_is_number(host[k]) for k in host)):
+        errors.append(f"{name}: 'host' must be a subset of "
+                      f"{{{', '.join(sorted(HOST_KEYS))}}} containing "
+                      f"{{{', '.join(sorted(HOST_REQUIRED_KEYS))}}} "
                       "with numeric values")
     return errors
 
@@ -140,7 +156,8 @@ def comparable_values(doc):
     for entry in doc["experiments"]:
         values.update(flatten(entry["metrics"],
                               f"experiments[{entry['label']}]"))
-    return values
+    return {name: v for name, v in values.items()
+            if not name.endswith(HOST_RATE_LEAVES)}
 
 
 def _within(base, cand, tolerance):
