@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Sharded-kernel scaling microbench: one simulation swept across
+ * `--shards` values and core counts.
+ *
+ * For each (cores, shards) point the same hashmap run is simulated on a
+ * sharded kernel of that width. The bench asserts the determinism
+ * contract in-process — every shard width must produce a byte-identical
+ * canonical metric snapshot for its core count — and reports per-point
+ * host wall clock plus the deterministic simulation results
+ * (exec ticks, ops). Wall-clock leaves are host timings and are omitted
+ * in canonical mode, like bench_micro's.
+ *
+ * Flags: --fast, --json PATH, --shards N (cap of the sweep, default 4;
+ * the sweep runs 1..min(N, cores) widths per core count).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/system.hh"
+#include "bench_util.hh"
+#include "workloads/workload.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+SystemConfig
+scalingCfg(unsigned cores, unsigned shards)
+{
+    SystemConfig cfg = benchConfig(PersistMode::BbbMemSide, 32);
+    cfg.num_cores = cores;
+    cfg.shards = shards;
+    return cfg;
+}
+
+struct Point
+{
+    unsigned cores = 0;
+    unsigned shards = 0;
+    double wall_s = 0.0;
+    Tick exec_ticks = 0;
+    std::uint64_t ops = 0;
+    std::string canonical_json;
+};
+
+Point
+runPoint(unsigned cores, unsigned shards, const WorkloadParams &params)
+{
+    Point pt;
+    pt.cores = cores;
+    pt.shards = shards;
+    System sys(scalingCfg(cores, shards));
+    auto wl = makeWorkload("hashmap", params);
+    wl->install(sys);
+    pt.wall_s = timedSeconds([&] { sys.run(); });
+    pt.exec_ticks = sys.executionTime();
+    MetricSnapshot snap = sys.snapshotMetrics();
+    pt.ops = snap.count("sim.ops");
+    // The determinism witness: everything except the host-rate leaves
+    // and the sim.shard group, which describe the host run. Strip them
+    // the same way canonical reports do — by comparing the snapshot of
+    // a machine whose deterministic leaves alone differ if sharding
+    // perturbed the simulation.
+    MetricSnapshot canon;
+    canon.merge(snap, "");
+    canon.setReal("sim.host_seconds", 0.0);
+    canon.setLevel("sim.events_per_sec", 0.0);
+    canon.setLevel("sim.host_ns_per_op", 0.0);
+    canon.setCount("sim.shard.count", 0);
+    canon.setCount("sim.shard.quantum_ticks", 0);
+    canon.setCount("sim.shard.barriers", 0);
+    canon.setCount("sim.shard.commit_stall_ns", 0);
+    // Zero one leaf per possible shard so every width carries the same
+    // leaf set (widths narrower than `cores` just gain zero leaves).
+    for (unsigned s = 0; s < cores; ++s)
+        canon.setCount("sim.shard.events_fired.s" + std::to_string(s), 0);
+    pt.canonical_json = canon.toJson();
+    return pt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool fast = bbbench::fastMode(argc, argv);
+    std::string json = bbbench::jsonPathArg(argc, argv);
+    unsigned max_shards = bbbench::shardsArg(argc, argv);
+    if (max_shards < 2)
+        max_shards = 4;
+
+    WorkloadParams params = bbbench::shapedParams(fast, 2000, 20000);
+
+    BenchReport rep("shard_scaling");
+    rep.setConfig("fast", fast);
+    rep.setConfig("ops_per_thread", params.ops_per_thread);
+    rep.setConfig("initial_elements", params.initial_elements);
+    rep.setConfig("max_shards", std::uint64_t{max_shards});
+
+    const bool canonical = reportCanonicalMode();
+    std::vector<unsigned> core_counts = fast
+                                            ? std::vector<unsigned>{4}
+                                            : std::vector<unsigned>{4, 8};
+
+    bbbench::banner("Sharded-kernel scaling: host wall clock per "
+                    "(cores, shards) point");
+    std::printf("%6s %7s %10s %14s %12s  %s\n", "cores", "shards",
+                "wall_s", "exec_us", "sim_ops", "identical");
+
+    double wall_total = 0.0;
+    std::uint64_t ops_total = 0;
+    int status = 0;
+    for (unsigned cores : core_counts) {
+        Point base;
+        for (unsigned shards = 1; shards <= max_shards && shards <= cores;
+             ++shards) {
+            Point pt = runPoint(cores, shards, params);
+            wall_total += pt.wall_s;
+            ops_total += pt.ops;
+            bool same =
+                shards == 1 || pt.canonical_json == base.canonical_json;
+            if (shards == 1)
+                base = pt;
+            if (!same) {
+                std::fprintf(stderr,
+                             "FAIL: %u-core snapshot diverges at "
+                             "--shards %u\n",
+                             cores, shards);
+                status = 1;
+            }
+            std::printf("%6u %7u %10.3f %14.1f %12llu  %s\n", cores,
+                        shards, pt.wall_s,
+                        ticksToNs(pt.exec_ticks) / 1000.0,
+                        (unsigned long long)pt.ops,
+                        same ? "yes" : "NO");
+
+            std::string label = "c" + std::to_string(cores) + ".s" +
+                                std::to_string(shards);
+            // Deterministic leaves only for shards 1 (the reference);
+            // host wall clock per point is canonical-omitted.
+            if (shards == 1) {
+                rep.measured().setCount("exec_ticks." + label,
+                                        pt.exec_ticks);
+                rep.measured().setCount("sim_ops." + label, pt.ops);
+            }
+            if (!canonical) {
+                rep.measured().setReal("wall_s." + label, pt.wall_s);
+                rep.measured().setReal(
+                    "speedup_x." + label,
+                    pt.wall_s > 0.0 ? base.wall_s / pt.wall_s : 0.0);
+            }
+        }
+    }
+
+    rep.noteRun(wall_total, 1);
+    rep.noteShards(max_shards);
+    rep.noteSim(ops_total, 0);
+    rep.emitIfRequested(json);
+    return status;
+}

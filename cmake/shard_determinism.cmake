@@ -1,0 +1,44 @@
+# Prove the sharded event kernel is byte-neutral: run one binary's
+# --json report under BBB_REPORT_CANONICAL=1 at --shards 1 (the inline
+# kernel) and --shards 4 (three worker shards) and require byte-identical
+# documents. Optionally diff the width-1 document against a committed
+# baseline at --tolerance 0 (BASELINE + PYTHON + TOOL).
+#
+# Usage (driven by the report_smoke ctest label):
+#   cmake -DBIN=<binary> -DARGS="<args>" -DOUT=<stem>
+#         [-DBASELINE=<json> -DPYTHON=<python3> -DTOOL=<compare...py>]
+#         -P shard_determinism.cmake
+
+separate_arguments(ARGS)
+
+foreach(shards 1 4)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env BBB_REPORT_CANONICAL=1
+                ${BIN} ${ARGS} --shards ${shards}
+                --json ${OUT}.s${shards}.json
+        RESULT_VARIABLE run_rc)
+    if(NOT run_rc EQUAL 0)
+        message(FATAL_ERROR "${BIN} --shards ${shards} exited with ${run_rc}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${OUT}.s1.json ${OUT}.s4.json
+    RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+    message(FATAL_ERROR
+            "report differs between --shards 1 and --shards 4: "
+            "${OUT}.s1.json vs ${OUT}.s4.json")
+endif()
+
+if(DEFINED BASELINE)
+    execute_process(
+        COMMAND ${PYTHON} ${TOOL} diff --tolerance 0
+                ${BASELINE} ${OUT}.s1.json
+        RESULT_VARIABLE diff_rc)
+    if(NOT diff_rc EQUAL 0)
+        message(FATAL_ERROR
+                "sharded run diverges from committed baseline ${BASELINE}")
+    endif()
+endif()

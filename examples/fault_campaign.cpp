@@ -46,7 +46,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--workloads NAME[,NAME...]] [--points N] [--ops N]\n"
         "          [--initial N] [--campaign-seed N] [--jobs N]\n"
-        "          [--battery-fraction F] [--verbose] [--json PATH]\n"
+        "          [--shards N] [--battery-fraction F] [--verbose]\n"
+        "          [--json PATH]\n"
         "   or: %s --workload NAME --seed S --crash-tick T --fault-plan P\n"
         "plans: none",
         argv0, argv0);
@@ -126,6 +127,8 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(
                 std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--shards") {
+            next(); // value parsed/validated below by cli::shardsArg
         } else if (arg == "--battery-fraction") {
             battery_fraction = std::strtod(next().c_str(), nullptr);
         } else if (arg == "--verbose") {
@@ -149,6 +152,11 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
+
+    // Sharded kernel width for every simulated sample (campaign and
+    // replay): byte-neutral to results, so repro lines need not carry it.
+    spec.base.shards =
+        bbb::cli::shardsArg(argc, argv, spec.base.num_cores);
 
     if (replay) {
         if (replay_workload.empty())
@@ -236,6 +244,7 @@ main(int argc, char **argv)
         rep.setConfig("bbpb_entries", std::uint64_t{spec.base.bbpb.entries});
         rep.measured().merge(summary.metrics, "");
         rep.noteRun(secs, jobs);
+        rep.noteShards(spec.base.shards);
         rep.writeFile(json_path);
     }
 

@@ -49,7 +49,7 @@ usage(const char *argv0)
         "usage: %s [--workloads NAME[,NAME...]] [--modes M[,M...]]\n"
         "          [--plans P[,P...]] [--rounds K] [--lifetimes N]\n"
         "          [--ops N] [--initial N] [--campaign-seed N] [--jobs N]\n"
-        "          [--verbose] [--json PATH]\n"
+        "          [--shards N] [--verbose] [--json PATH]\n"
         "   or: %s --workload NAME --mode M --seed S --rounds K "
         "--fault-plan P\n",
         argv0, argv0);
@@ -146,6 +146,8 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(
                 std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--shards") {
+            next(); // value parsed/validated below by cli::shardsArg
         } else if (arg == "--verbose") {
             verbose = true;
         } else if (arg == "--json") {
@@ -167,6 +169,11 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
+
+    // Sharded kernel width for every simulated life (campaign and
+    // replay): byte-neutral to results, so repro lines need not carry it.
+    spec.base.shards =
+        bbb::cli::shardsArg(argc, argv, spec.base.num_cores);
 
     if (replay) {
         if (replay_workload.empty())
@@ -245,6 +252,7 @@ main(int argc, char **argv)
         rep.setConfig("bbpb_entries", std::uint64_t{spec.base.bbpb.entries});
         rep.measured().merge(summary.metrics, "");
         rep.noteRun(secs, jobs);
+        rep.noteShards(spec.base.shards);
         rep.writeFile(json_path);
     }
 

@@ -61,6 +61,19 @@ System::System(const SystemConfig &cfg)
             std::make_unique<Core>(c, _cfg, _eq, *_hier, _stats));
     }
 
+    unsigned shards = _cfg.resolvedShards();
+    if (_cfg.shards > _cfg.num_cores) {
+        warn("--shards %u exceeds the %u simulated cores; clamping to %u",
+             _cfg.shards, _cfg.num_cores, shards);
+    }
+    if (shards > 1) {
+        _shard_rt = std::make_unique<ShardRuntime>(_cfg);
+        for (CoreId c = 0; c < _cfg.num_cores; ++c) {
+            if (_cfg.shardOf(c) != 0)
+                _cores[c]->setShardRuntime(_shard_rt.get());
+        }
+    }
+
     _heap = std::make_unique<PersistentHeap>(_map, _cfg.num_cores);
     _crash = std::make_unique<CrashEngine>(_cfg, *_hier, *_nvmm, _store,
                                            *_backend, _cores, _stats);
@@ -142,6 +155,30 @@ System::snapshotMetrics(bool histogram_buckets) const
     m.setLevel("sim.host_ns_per_op",
                ops && secs > 0.0 ? secs * 1e9 / static_cast<double>(ops)
                                  : 0.0);
+
+    // Sharded-kernel telemetry. The shard count and commit-stall time
+    // describe the host-side run, not the simulated machine — the whole
+    // group is omitted in canonical mode so canonical documents stay
+    // byte-identical for any --shards value.
+    if (!canonical) {
+        unsigned shards = _cfg.resolvedShards();
+        Tick quantum = _cfg.shardQuantum();
+        m.setCount("sim.shard.count", shards);
+        m.setCount("sim.shard.quantum_ticks", quantum);
+        m.setCount("sim.shard.barriers",
+                   quantum ? _exec_time / quantum : 0);
+        m.setCount("sim.shard.commit_stall_ns",
+                   _shard_rt ? _shard_rt->commitStallNs() : 0);
+        for (unsigned s = 0; s < shards; ++s) {
+            std::uint64_t shard_ops = 0;
+            for (CoreId c = 0; c < _cfg.num_cores; ++c) {
+                if (_cfg.shardOf(c) == s)
+                    shard_ops += _cores[c]->memOps();
+            }
+            m.setCount("sim.shard.events_fired.s" + std::to_string(s),
+                       shard_ops);
+        }
+    }
     return m;
 }
 
@@ -192,6 +229,8 @@ Tick
 System::run(Tick max_tick)
 {
     double t0 = hostNow();
+    if (_shard_rt)
+        _shard_rt->start();
     for (auto &core : _cores)
         core->start();
 
@@ -218,6 +257,8 @@ CrashReport
 System::runAndCrashAt(Tick crash_tick)
 {
     double t0 = hostNow();
+    if (_shard_rt)
+        _shard_rt->start();
     for (auto &core : _cores)
         core->start();
     if (_cfg.check_invariants)
@@ -232,6 +273,11 @@ System::crashNow()
 {
     BBB_ASSERT(!_crashed, "system already crashed");
     _crashed = true;
+    // Freeze the worker shards first: after quiesce() no fiber runs
+    // again, and everything the workers wrote (workload issue logs, heap
+    // frontiers) is safe for the recovery path to read.
+    if (_shard_rt)
+        _shard_rt->quiesce();
     // The persistence-domain invariants must hold at the instant power
     // fails -- this is the state the drain is about to persist.
     if (_cfg.check_invariants)

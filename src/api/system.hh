@@ -40,6 +40,7 @@
 #include "persist/recovery.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 
 namespace bbb
@@ -73,6 +74,9 @@ class System
     MemSideBbpb *memSideBbpb() { return _mem_bbpb; }
     /** Processor-side bbPB, or nullptr. */
     ProcSideBbpb *procSideBbpb() { return _proc_bbpb; }
+
+    /** The sharded-kernel worker runtime, or nullptr at --shards 1. */
+    ShardRuntime *shardRuntime() { return _shard_rt.get(); }
 
     // --- fault injection -----------------------------------------------
     /**
@@ -202,6 +206,9 @@ class System
     std::unique_ptr<CrashEngine> _crash;
     FaultStats _fault_stats;
     std::unique_ptr<FaultInjector> _faults;
+    /// Declared after _cores so the workers are joined (and every fiber
+    /// parked) before the cores destroy the fibers.
+    std::unique_ptr<ShardRuntime> _shard_rt;
     /// Mutable: refreshed from the live components inside the const
     /// snapshotMetrics() immediately before the registry walk.
     mutable SimStats _sim;

@@ -1,5 +1,7 @@
 #include "cpu/core.hh"
 
+#include "sim/shard.hh"
+
 namespace bbb
 {
 
@@ -21,7 +23,7 @@ ThreadContext::coreId() const
 Tick
 ThreadContext::now() const
 {
-    return _core._eq.now();
+    return _core.threadNow();
 }
 
 std::uint64_t
@@ -129,6 +131,15 @@ Core::bindThread(ThreadBody body)
     _fiber = std::make_unique<Fiber>([body = std::move(body), tc]() {
         body(*tc);
     });
+    if (_shard)
+        _shard->addCore(_id, _fiber.get());
+}
+
+void
+Core::setShardRuntime(ShardRuntime *rt)
+{
+    BBB_ASSERT(!_fiber, "core %u offloaded after bindThread", _id);
+    _shard = rt;
 }
 
 void
@@ -137,19 +148,41 @@ Core::start()
     if (_started || !_fiber)
         return;
     _started = true;
+    if (_shard)
+        _shard->kick(_id);
     _eq.scheduleIn(0, [this]() { resumeFiber(); }, EventPriority::CoreOp);
+}
+
+Tick
+Core::threadNow() const
+{
+    // Offloaded fibers run ahead of commit; their clock is the resume
+    // time of their last committed load, maintained by the runtime.
+    return _shard ? _shard->segmentNow(_id) : _eq.now();
 }
 
 std::uint64_t
 Core::issueFromFiber(const MemOp &op)
+{
+    if (_shard) {
+        // Worker thread: hand the op to the mailbox. Accounting happens
+        // on the commit side, in resumeFiber(), where the inline kernel
+        // would have done it — keeping stats and traces identical.
+        return _shard->produceOp(_id, op);
+    }
+    noteIssued(op);
+    Fiber::yield();
+    return _result;
+}
+
+void
+Core::noteIssued(const MemOp &op)
 {
     _pending = op;
     _op_in_flight = true;
     ++_ops;
     if (_op_observer)
         _op_observer(op);
-    Fiber::yield();
-    return _result;
 }
 
 void
@@ -157,6 +190,22 @@ Core::resumeFiber()
 {
     if (_halted || _finished)
         return;
+
+    if (_shard) {
+        // Commit side of the sharded kernel: consume exactly one op at
+        // exactly the event where the inline kernel would resume the
+        // fiber. popOp blocks (host time, not simulated time) if the
+        // worker has not produced it yet.
+        MemOp op;
+        if (!_shard->popOp(_id, op)) {
+            _finished = true;
+            _finish_tick = _eq.now();
+            return;
+        }
+        noteIssued(op);
+        executePending();
+        return;
+    }
 
     _fiber->resume();
 
@@ -190,6 +239,13 @@ Core::executePending()
     auto complete = [this](Tick lat, std::uint64_t result) {
         _result = result;
         _op_in_flight = false;
+        if (_shard && _pending.kind == OpKind::Load) {
+            // Early value delivery: the architectural result is known
+            // now; only the latency is still being charged. Sending it
+            // immediately lets the worker compute the fiber's next
+            // segment during the load's latency window.
+            _shard->sendResume(_id, result, _eq.now() + lat);
+        }
         _eq.scheduleIn(lat, [this]() { resumeFiber(); },
                        EventPriority::CoreOp);
     };

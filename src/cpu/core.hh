@@ -35,6 +35,7 @@ namespace bbb
 {
 
 class Core;
+class ShardRuntime;
 
 /**
  * The interface workload code uses to touch simulated memory. All calls
@@ -101,6 +102,15 @@ class Core
     /** Bind the software thread this core will run. */
     void bindThread(ThreadBody body);
 
+    /**
+     * Offload this core's fiber to a worker shard (sharded kernel).
+     * Must be called before bindThread(). The core then *consumes* ops
+     * from the runtime's mailbox at exactly the events where the inline
+     * kernel would resume its fiber, so the event schedule — and every
+     * stat derived from it — is unchanged.
+     */
+    void setShardRuntime(ShardRuntime *rt);
+
     /** Schedule the first fiber resume (idempotent). */
     void start();
 
@@ -135,6 +145,12 @@ class Core
     /** Called from the fiber side: record the op and yield. */
     std::uint64_t issueFromFiber(const MemOp &op);
 
+    /** Simulated time as seen by the workload thread. */
+    Tick threadNow() const;
+
+    /** Commit-side bookkeeping for the op about to execute. */
+    void noteIssued(const MemOp &op);
+
     /** Resume the fiber (runs in simulator context). */
     void resumeFiber();
 
@@ -152,6 +168,8 @@ class Core
 
     std::unique_ptr<ThreadContext> _tc;
     std::unique_ptr<Fiber> _fiber;
+    /** Non-null when this core's fiber runs on a worker shard. */
+    ShardRuntime *_shard = nullptr;
 
     MemOp _pending;
     std::function<void(const MemOp &)> _op_observer;

@@ -1,0 +1,242 @@
+#include "sim/shard.hh"
+
+#include <chrono>
+
+#include "sim/fiber.hh"
+#include "sim/logging.hh"
+
+namespace bbb
+{
+
+ShardRuntime::ShardRuntime(const SystemConfig &cfg)
+    : _shards(cfg.resolvedShards()), _quantum(cfg.shardQuantum()),
+      _capacity(cfg.shardMailboxCapacity())
+{
+    BBB_ASSERT(_shards > 1, "ShardRuntime needs at least one worker shard");
+    _channels.resize(cfg.num_cores);
+    _worker_cv.reserve(_shards - 1);
+    for (unsigned s = 1; s < _shards; ++s)
+        _worker_cv.push_back(std::make_unique<std::condition_variable>());
+    _busy.assign(_shards - 1, false);
+}
+
+ShardRuntime::~ShardRuntime()
+{
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        _halted = true;
+        _shutdown = true;
+        for (auto &cv : _worker_cv)
+            cv->notify_all();
+    }
+    for (auto &t : _threads)
+        t.join();
+    // Parked fibers are abandoned mid-flight (same as a crash in the
+    // inline kernel); the cores destroy them after this runtime.
+}
+
+ShardRuntime::Channel &
+ShardRuntime::channel(CoreId id)
+{
+    BBB_ASSERT(id < _channels.size() && _channels[id],
+               "core %u is not offloaded", id);
+    return *_channels[id];
+}
+
+const ShardRuntime::Channel &
+ShardRuntime::channel(CoreId id) const
+{
+    BBB_ASSERT(id < _channels.size() && _channels[id],
+               "core %u is not offloaded", id);
+    return *_channels[id];
+}
+
+void
+ShardRuntime::addCore(CoreId id, Fiber *fiber)
+{
+    unsigned shard = id % _shards;
+    BBB_ASSERT(shard != 0, "core %u belongs to the commit lane", id);
+    std::lock_guard<std::mutex> lk(_mu);
+    BBB_ASSERT(id < _channels.size() && !_channels[id],
+               "core %u registered twice", id);
+    auto ch = std::make_unique<Channel>();
+    ch->fiber = fiber;
+    ch->shard = shard;
+    _channels[id] = std::move(ch);
+}
+
+void
+ShardRuntime::start()
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    if (_started_threads)
+        return;
+    _started_threads = true;
+    _threads.reserve(_shards - 1);
+    for (unsigned s = 1; s < _shards; ++s)
+        _threads.emplace_back([this, s]() { workerLoop(s); });
+}
+
+void
+ShardRuntime::kick(CoreId id)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    Channel &ch = channel(id);
+    if (ch.kicked)
+        return;
+    ch.kicked = true;
+    _worker_cv[ch.shard - 1]->notify_all();
+}
+
+bool
+ShardRuntime::popOp(CoreId id, MemOp &op)
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    Channel &ch = channel(id);
+    if (ch.mailbox.empty() && !ch.finished) {
+        auto t0 = std::chrono::steady_clock::now();
+        _commit_cv.wait(lk, [&]() {
+            return !ch.mailbox.empty() || ch.finished;
+        });
+        _stall_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    }
+    if (ch.mailbox.empty())
+        return false; // finished and drained
+    op = ch.mailbox.front();
+    ch.mailbox.pop_front();
+    if (ch.park == ShardPark::NeedSpace)
+        _worker_cv[ch.shard - 1]->notify_all();
+    return true;
+}
+
+void
+ShardRuntime::sendResume(CoreId id, std::uint64_t value, Tick resume_tick)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    Channel &ch = channel(id);
+    BBB_ASSERT(!ch.resume_pending, "core %u has two loads in flight", id);
+    ch.resume_value = value;
+    ch.resume_tick = resume_tick;
+    ch.resume_pending = true;
+    _worker_cv[ch.shard - 1]->notify_all();
+}
+
+void
+ShardRuntime::quiesce()
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    _halted = true;
+    for (auto &cv : _worker_cv)
+        cv->notify_all();
+    _idle_cv.wait(lk, [&]() {
+        for (bool b : _busy)
+            if (b)
+                return false;
+        return true;
+    });
+}
+
+std::uint64_t
+ShardRuntime::produceOp(CoreId id, const MemOp &op)
+{
+    Channel &ch = channel(id); // no lock: the slot pointer is immutable
+    std::unique_lock<std::mutex> lk(_mu);
+    while (ch.mailbox.size() >= _capacity && !_halted) {
+        ch.park = ShardPark::NeedSpace;
+        lk.unlock();
+        Fiber::yield(); // back to the worker loop
+        lk.lock();
+    }
+    if (_halted) {
+        // Crash/shutdown: park forever; the commit lane stops consuming
+        // and the fiber is abandoned exactly like an inline fiber at a
+        // crash. The yield loop is belt-and-braces — a Halted channel is
+        // never picked as runnable again.
+        ch.park = ShardPark::Halted;
+        lk.unlock();
+        for (;;)
+            Fiber::yield();
+    }
+    ch.mailbox.push_back(op);
+    _commit_cv.notify_all();
+    if (op.kind != OpKind::Load)
+        return 0; // run ahead: result is architecturally 0
+    ch.park = ShardPark::NeedResult;
+    lk.unlock();
+    Fiber::yield(); // until the worker loop consumes the resume
+    // value_for_fiber/now_for_fiber were written by this very thread
+    // (the worker) just before resuming us.
+    return ch.value_for_fiber;
+}
+
+Tick
+ShardRuntime::segmentNow(CoreId id) const
+{
+    return channel(id).now_for_fiber;
+}
+
+ShardRuntime::Channel *
+ShardRuntime::pickRunnable(unsigned shard)
+{
+    if (_halted)
+        return nullptr;
+    for (auto &chp : _channels) {
+        Channel *ch = chp.get();
+        if (!ch || ch->shard != shard || ch->finished)
+            continue;
+        if (!ch->started) {
+            if (!ch->kicked)
+                continue;
+            ch->started = true;
+            return ch;
+        }
+        switch (ch->park) {
+          case ShardPark::NeedResult:
+            if (!ch->resume_pending)
+                continue;
+            ch->resume_pending = false;
+            ch->value_for_fiber = ch->resume_value;
+            ch->now_for_fiber = ch->resume_tick;
+            ch->park = ShardPark::None;
+            return ch;
+          case ShardPark::NeedSpace:
+            if (ch->mailbox.size() >= _capacity)
+                continue;
+            ch->park = ShardPark::None;
+            return ch;
+          case ShardPark::None:
+          case ShardPark::Halted:
+            continue;
+        }
+    }
+    return nullptr;
+}
+
+void
+ShardRuntime::workerLoop(unsigned shard)
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    while (!_shutdown) {
+        Channel *ch = pickRunnable(shard);
+        if (!ch) {
+            _idle_cv.notify_all();
+            _worker_cv[shard - 1]->wait(lk);
+            continue;
+        }
+        _busy[shard - 1] = true;
+        lk.unlock();
+        ch->fiber->resume(); // runs until the fiber parks or finishes
+        lk.lock();
+        _busy[shard - 1] = false;
+        if (ch->fiber->finished()) {
+            ch->finished = true;
+            _commit_cv.notify_all();
+        }
+        if (_halted)
+            _idle_cv.notify_all();
+    }
+}
+
+} // namespace bbb

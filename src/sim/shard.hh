@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Sharded event kernel: run one simulation's workload fibers across
+ * several host threads while keeping the event schedule byte-identical
+ * to the single-threaded kernel.
+ *
+ * Shard 0 is the *commit lane*: the caller's thread, which owns the one
+ * EventQueue and every shared timing component (cache hierarchy and
+ * directory, memory controllers, backing store, crash engine). Shards
+ * 1..N-1 are worker threads; each owns the fibers of the cores mapped to
+ * it (core c -> shard c % N) and runs their workload segments ahead of
+ * simulated time. The two sides meet in per-core mailboxes:
+ *
+ *   worker (fiber)  --MemOp-->  mailbox  --popOp-->  commit lane
+ *   commit lane     --load value/resume tick-->      worker (fiber)
+ *
+ * The commit lane consumes exactly one op per core resume event, in the
+ * same event order the inline kernel produces, so timing, stats, and
+ * canonical reports do not depend on the shard count. Run-ahead is
+ * possible because only loads return data: a fiber parks on a Load
+ * (NeedResult) and on a full mailbox (NeedSpace); stores, flushes,
+ * fences, and compute advances complete immediately from the fiber's
+ * point of view and are charged their latency later, at commit.
+ *
+ * The mailbox depth is derived from SystemConfig::shardQuantum(): each
+ * committed op consumes at least one core cycle, so a mailbox of
+ * quantum/cycle entries bounds a worker's run-ahead to about one
+ * synchronization window of simulated time.
+ */
+
+#ifndef BBB_SIM_SHARD_HH
+#define BBB_SIM_SHARD_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cpu/mem_op.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+class Fiber;
+
+/** Why an offloaded fiber is suspended. */
+enum class ShardPark : unsigned char
+{
+    None,       ///< runnable (or currently running)
+    NeedResult, ///< waiting for a load value from the commit lane
+    NeedSpace,  ///< waiting for mailbox space
+    Halted,     ///< crash/shutdown: never resumed again
+};
+
+/**
+ * The worker-thread runtime behind a sharded System. Created only when
+ * cfg.resolvedShards() > 1; cores on shard 0 keep the inline fiber path
+ * and never touch this class.
+ */
+class ShardRuntime
+{
+  public:
+    explicit ShardRuntime(const SystemConfig &cfg);
+    ~ShardRuntime();
+
+    ShardRuntime(const ShardRuntime &) = delete;
+    ShardRuntime &operator=(const ShardRuntime &) = delete;
+
+    /** Number of shards, including the commit lane. */
+    unsigned shards() const { return _shards; }
+
+    /** Effective synchronization window in ticks. */
+    Tick quantum() const { return _quantum; }
+
+    /** Per-core mailbox depth. */
+    std::size_t mailboxCapacity() const { return _capacity; }
+
+    // -- setup (main thread) ------------------------------------------
+
+    /** Register core @p id's fiber with its owning worker shard. */
+    void addCore(CoreId id, Fiber *fiber);
+
+    /** Launch the worker threads (idempotent). */
+    void start();
+
+    // -- commit lane (event-queue thread) -----------------------------
+
+    /** Mark core @p id runnable for its first segment. */
+    void kick(CoreId id);
+
+    /**
+     * Pop core @p id's next issued op, blocking until the worker
+     * produces one. Returns false when the thread body has returned and
+     * the mailbox is drained — the core is finished.
+     */
+    bool popOp(CoreId id, MemOp &op);
+
+    /**
+     * Deliver the result of core @p id's outstanding load. @p resume_tick
+     * is the simulated time the fiber logically resumes at (commit time
+     * plus the load's latency); it becomes the core's threadNow() until
+     * the next load. Called as soon as the value is known so the worker
+     * computes the next segment during the load's latency window.
+     */
+    void sendResume(CoreId id, std::uint64_t value, Tick resume_tick);
+
+    /**
+     * Halt every worker and wait until none is inside a fiber. After
+     * this returns, all worker-written state (workload logs, heap
+     * frontiers) is safe to read from the calling thread. Idempotent.
+     */
+    void quiesce();
+
+    // -- fiber side (worker threads) ----------------------------------
+
+    /**
+     * Push @p op into core @p id's mailbox, parking while it is full.
+     * For loads, parks until the commit lane delivers the value and
+     * returns it; all other kinds return 0 immediately (run-ahead).
+     */
+    std::uint64_t produceOp(CoreId id, const MemOp &op);
+
+    /** Simulated time of core @p id's last committed load resume. */
+    Tick segmentNow(CoreId id) const;
+
+    // -- stats (read from the main thread while quiesced/idle) --------
+
+    /** Host nanoseconds the commit lane spent blocked in popOp(). */
+    std::uint64_t commitStallNs() const { return _stall_ns; }
+
+  private:
+    struct Channel
+    {
+        Fiber *fiber = nullptr;
+        unsigned shard = 0;
+        std::deque<MemOp> mailbox;
+        ShardPark park = ShardPark::None;
+        bool kicked = false;
+        bool started = false;
+        bool finished = false;
+        bool resume_pending = false;
+        std::uint64_t resume_value = 0;
+        Tick resume_tick = 0;
+        /** Worker-thread-private copies (no lock needed from the fiber). */
+        std::uint64_t value_for_fiber = 0;
+        Tick now_for_fiber = 0;
+    };
+
+    void workerLoop(unsigned shard);
+    Channel *pickRunnable(unsigned shard);
+    Channel &channel(CoreId id);
+    const Channel &channel(CoreId id) const;
+
+    const unsigned _shards;
+    const Tick _quantum;
+    const std::size_t _capacity;
+
+    mutable std::mutex _mu;
+    /** Wakes worker s-1 (workers are shards 1..N-1). */
+    std::vector<std::unique_ptr<std::condition_variable>> _worker_cv;
+    /** Wakes the commit lane blocked in popOp(). */
+    std::condition_variable _commit_cv;
+    /** Wakes quiesce() when a worker goes idle. */
+    std::condition_variable _idle_cv;
+
+    std::vector<std::unique_ptr<Channel>> _channels; // indexed by core id
+    std::vector<std::thread> _threads;
+    std::vector<bool> _busy; // worker s-1 is inside fiber->resume()
+    bool _halted = false;
+    bool _shutdown = false;
+    bool _started_threads = false;
+
+    std::uint64_t _stall_ns = 0; // commit lane only
+};
+
+} // namespace bbb
+
+#endif // BBB_SIM_SHARD_HH

@@ -178,8 +178,12 @@ class Workload
     }
 
   protected:
-    /** Record a keyed op at issue time (fiber-side; cores share one
-     *  OS thread per System, so no locking is needed). */
+    /** Record a keyed op at issue time (fiber-side). Each tid's log is
+     *  written only by the one host thread running that core's fiber —
+     *  the main thread, or its worker shard under `--shards` — and read
+     *  by the oracle only after the System quiesces, so no locking is
+     *  needed. Under run-ahead the log may extend past the committed
+     *  prefix at a crash; the oracle's prefix semantics allow that. */
     void logOp(unsigned tid, std::uint64_t key)
     {
         _issued.at(tid).push_back(key);

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -76,4 +77,106 @@ TEST(CliDeath, StrictArgsAppliesToAnyStringFlag)
     EXPECT_EXIT(cli::stringOpt(a.argc(), a.argv(), "--workloads"),
                 ::testing::ExitedWithCode(2),
                 "--workloads requires a value");
+}
+
+namespace
+{
+
+/** Scope guard: clear BBB_SHARDS for the test, restore it afterwards. */
+struct ShardsEnvGuard
+{
+    ShardsEnvGuard()
+    {
+        const char *prev = std::getenv("BBB_SHARDS");
+        if (prev) {
+            _saved = prev;
+            _had = true;
+        }
+        unsetenv("BBB_SHARDS");
+    }
+    ~ShardsEnvGuard()
+    {
+        if (_had)
+            setenv("BBB_SHARDS", _saved.c_str(), 1);
+        else
+            unsetenv("BBB_SHARDS");
+    }
+
+  private:
+    std::string _saved;
+    bool _had = false;
+};
+
+} // namespace
+
+TEST(CliShards, DefaultsToOneShard)
+{
+    ShardsEnvGuard env;
+    Argv a({"--fast"});
+    EXPECT_EQ(cli::shardsArg(a.argc(), a.argv()), 1u);
+}
+
+TEST(CliShards, FlagValueParsed)
+{
+    ShardsEnvGuard env;
+    Argv a({"--shards", "4"});
+    EXPECT_EQ(cli::shardsArg(a.argc(), a.argv()), 4u);
+}
+
+TEST(CliShards, EnvFallbackAndFlagPrecedence)
+{
+    ShardsEnvGuard env;
+    setenv("BBB_SHARDS", "3", 1);
+    Argv from_env({"--fast"});
+    EXPECT_EQ(cli::shardsArg(from_env.argc(), from_env.argv()), 3u);
+    Argv flag_wins({"--shards", "2"});
+    EXPECT_EQ(cli::shardsArg(flag_wins.argc(), flag_wins.argv()), 2u);
+}
+
+TEST(CliShards, NonStrictBadValueFallsBackToOne)
+{
+    ShardsEnvGuard env;
+    Argv zero({"--shards", "0"});
+    EXPECT_EQ(cli::shardsArg(zero.argc(), zero.argv()), 1u);
+    Argv negative({"--shards", "-2"});
+    EXPECT_EQ(cli::shardsArg(negative.argc(), negative.argv()), 1u);
+    Argv garbage({"--shards", "4x"});
+    EXPECT_EQ(cli::shardsArg(garbage.argc(), garbage.argv()), 1u);
+}
+
+TEST(CliShards, ExceedingCoreCountWarnsButKeepsValue)
+{
+    ShardsEnvGuard env;
+    Argv a({"--shards", "16"});
+    // The kernel clamps via SystemConfig::resolvedShards(); the parser
+    // only warns so the caller sees the requested width.
+    EXPECT_EQ(cli::shardsArg(a.argc(), a.argv(), 8), 16u);
+}
+
+TEST(CliShardsDeath, StrictArgsRejectsZero)
+{
+    ShardsEnvGuard env;
+    Argv a({"--strict-args", "--shards", "0"});
+    EXPECT_EXIT(cli::shardsArg(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2),
+                "--shards must be a positive shard count");
+}
+
+TEST(CliShardsDeath, StrictArgsRejectsNegative)
+{
+    ShardsEnvGuard env;
+    Argv a({"--strict-args", "--shards", "-3"});
+    EXPECT_EXIT(cli::shardsArg(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2),
+                "--shards must be a positive shard count");
+}
+
+TEST(CliShardsDeath, StrictArgsRejectsBadEnvValue)
+{
+    ShardsEnvGuard env;
+    setenv("BBB_SHARDS", "nope", 1);
+    Argv a({"--strict-args", "--fast"});
+    EXPECT_EXIT(cli::shardsArg(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2),
+                "BBB_SHARDS must be a positive shard count");
 }

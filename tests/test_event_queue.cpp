@@ -226,3 +226,63 @@ TEST(EventQueue, LargeCaptureCallbacksWork)
     eq.run();
     EXPECT_EQ(sum, 36u);
 }
+
+// ---------------------------------------------------------------------
+// Event-capacity hint sizing (SystemConfig::eventCapacityHint and the
+// per-shard split it feeds). The hint exists so EventQueue::reserve can
+// pre-size the heap once and never reallocate mid-run; the sharded
+// kernel must not multiply the shared-component overhead per shard.
+// ---------------------------------------------------------------------
+
+#include "sim/config.hh"
+
+TEST(EventCapacityHint, LegacyFormulaPreserved)
+{
+    bbb::SystemConfig cfg;
+    cfg.num_cores = 8;
+    std::size_t legacy = cfg.num_cores * (8 + cfg.store_buffer.entries) +
+                         cfg.nvmm.wpq_entries + cfg.nvmm.channels +
+                         cfg.dram.channels + 64;
+    EXPECT_EQ(cfg.eventCapacityHint(), legacy);
+    EXPECT_EQ(cfg.eventCapacityHint(cfg.num_cores, true), legacy);
+}
+
+TEST(EventCapacityHint, PerShardSplitSumsToGlobalHint)
+{
+    // Splitting N cores across shards — shared components only on the
+    // queue that hosts them — must total exactly the monolithic hint:
+    // no per-shard duplication of the wpq/channel/slack overhead.
+    bbb::SystemConfig cfg;
+    cfg.num_cores = 8;
+    for (unsigned shards = 1; shards <= cfg.num_cores; ++shards) {
+        cfg.shards = shards;
+        std::size_t total = 0;
+        for (unsigned s = 0; s < cfg.resolvedShards(); ++s) {
+            unsigned cores_here = 0;
+            for (unsigned c = 0; c < cfg.num_cores; ++c)
+                if (cfg.shardOf(c) == s)
+                    ++cores_here;
+            total += cfg.eventCapacityHint(cores_here, s == 0);
+        }
+        EXPECT_EQ(total, cfg.eventCapacityHint())
+            << "shards=" << shards;
+    }
+}
+
+TEST(EventCapacityHint, CoreTermIsLinear)
+{
+    bbb::SystemConfig cfg;
+    std::size_t one = cfg.eventCapacityHint(1, false);
+    EXPECT_EQ(cfg.eventCapacityHint(4, false), 4 * one);
+    EXPECT_EQ(cfg.eventCapacityHint(0, false), 0u);
+    EXPECT_EQ(cfg.eventCapacityHint(0, true), cfg.sharedEventHint());
+}
+
+TEST(EventCapacityHint, ReserveHonorsHint)
+{
+    bbb::SystemConfig cfg;
+    cfg.num_cores = 4;
+    EventQueue eq;
+    eq.reserve(cfg.eventCapacityHint());
+    EXPECT_GE(eq.heapCapacity(), cfg.eventCapacityHint());
+}

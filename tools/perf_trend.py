@@ -27,6 +27,7 @@ COLUMNS = [
     # (header, host key, format)
     ("wall_s", "wall_clock_s", "{:.2f}"),
     ("jobs", "jobs", "{:.0f}"),
+    ("shards", "shards", "{:.0f}"),
     ("sim_ops", "sim_ops", "{:.3e}"),
     ("events", "events_fired", "{:.3e}"),
     ("events/s", "events_per_sec", "{:.3e}"),
