@@ -7,9 +7,10 @@
  * processor-side) and prints execution time, NVMM writes, bbPB behaviour,
  * and the crash-drain cost — the axes of the paper's Tables I and VII.
  *
- * Usage: persistency_modes [workload] [ops_per_thread]
- * The BBB_JOBS environment variable sets the worker-pool width (default:
- * hardware concurrency).
+ * Usage: persistency_modes [workload] [ops_per_thread] [--shards N]
+ * `--jobs`/BBB_JOBS set the experiment-pool width (0 = hardware
+ * concurrency); `--shards`/BBB_SHARDS the per-simulation sharded-kernel
+ * width. Under `--strict-args` malformed values exit with status 2.
  */
 
 #include <cstdio>
@@ -39,9 +40,11 @@ struct ModePoint
 int
 main(int argc, char **argv)
 {
-    std::string workload = argc > 1 ? argv[1] : "hashmap";
+    std::string workload = "hashmap";
+    if (argc > 1 && argv[1][0] != '-')
+        workload = argv[1];
     WorkloadParams params = benchParams();
-    if (argc > 2)
+    if (argc > 2 && argv[2][0] != '-')
         params.ops_per_thread = std::strtoull(argv[2], nullptr, 10);
 
     const ModePoint points[] = {
@@ -70,6 +73,7 @@ main(int argc, char **argv)
                                                     ? pt.bbpb_entries
                                                     : 32);
         cfg.pmem_auto_strict = pt.auto_strict;
+        cfg.shards = bbb::cli::shardsArg(argc, argv, cfg.num_cores);
         specs.push_back({cfg, workload, params});
     }
     std::vector<ExperimentResult> results = runExperiments(specs, jobs);

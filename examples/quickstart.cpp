@@ -12,12 +12,17 @@
  *   3. Figure 2 verbatim on a BBB machine — no persistency instructions,
  *      and the list still survives: commit order *is* persist order.
  *
- * Run: quickstart [appends_per_thread]
+ * Run: quickstart [appends_per_thread] [--shards N]
+ * `--shards` (or BBB_SHARDS) runs the simulations on the sharded
+ * kernel; results are byte-identical at every width. `--strict-args`
+ * makes a malformed --shards value fatal (exit 2).
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "api/cli.hh"
 #include "api/system.hh"
 #include "workloads/linkedlist.hh"
 
@@ -33,10 +38,12 @@ struct Outcome
 };
 
 Outcome
-buildListAndCrash(PersistMode mode, std::uint64_t appends, Tick crash_at)
+buildListAndCrash(PersistMode mode, std::uint64_t appends, Tick crash_at,
+                  unsigned shards)
 {
     SystemConfig cfg;
     cfg.num_cores = 2;
+    cfg.shards = shards;
     cfg.l1d.size_bytes = 8_KiB;
     cfg.llc.size_bytes = 32_KiB;
     cfg.dram.size_bytes = 64_MiB;
@@ -75,8 +82,10 @@ report(const char *label, const Outcome &o)
 int
 main(int argc, char **argv)
 {
-    std::uint64_t appends = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                     : 20000;
+    std::uint64_t appends = 20000;
+    if (argc > 1 && argv[1][0] != '-')
+        appends = std::strtoull(argv[1], nullptr, 10);
+    unsigned shards = bbb::cli::shardsArg(argc, argv, 2);
     Tick crash_at = nsToTicks(120000); // mid-run
 
     std::printf("Appending %llu nodes per thread, crashing mid-run.\n\n",
@@ -89,7 +98,7 @@ main(int argc, char **argv)
     Outcome worst{};
     for (int i = 1; i <= 5; ++i) {
         Outcome o = buildListAndCrash(PersistMode::AdrUnsafe, appends,
-                                      crash_at * i / 3);
+                                      crash_at * i / 3, shards);
         if (!o.recovery.consistent()) {
             corrupt_seen = true;
             worst = o;
@@ -104,11 +113,11 @@ main(int argc, char **argv)
     }
 
     Outcome pmem =
-        buildListAndCrash(PersistMode::AdrPmem, appends, crash_at);
+        buildListAndCrash(PersistMode::AdrPmem, appends, crash_at, shards);
     report("Fig. 3 on ADR (clwb + sfence):", pmem);
 
     Outcome bbb =
-        buildListAndCrash(PersistMode::BbbMemSide, appends, crash_at);
+        buildListAndCrash(PersistMode::BbbMemSide, appends, crash_at, shards);
     report("Fig. 2 on BBB (no barriers!):", bbb);
 
     std::printf("\nBBB recovered %llu nodes where PMEM recovered %llu in "

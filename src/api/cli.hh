@@ -148,13 +148,6 @@ shardsArg(int argc, char **argv, unsigned max_cores = 0)
     return static_cast<unsigned>(n);
 }
 
-/** `--json PATH` destination for the structured report ("" = none). */
-inline std::string
-jsonPathArg(int argc, char **argv)
-{
-    return stringOpt(argc, argv, "--json");
-}
-
 /** Split a comma-separated list, dropping empty segments. */
 inline std::vector<std::string>
 splitList(const std::string &arg)
@@ -170,6 +163,75 @@ splitList(const std::string &arg)
         start = comma + 1;
     }
     return names;
+}
+
+/**
+ * Comma-separated list of positive integers: `@p flag N,M,...`, or
+ * @p def when absent. Malformed or non-positive entries warn and
+ * return @p def — or, under `--strict-args`, exit with status 2.
+ */
+inline std::vector<unsigned>
+uintListArg(int argc, char **argv, const char *flag,
+            const std::vector<unsigned> &def)
+{
+    std::string value = stringOpt(argc, argv, flag);
+    if (value.empty())
+        return def;
+    std::vector<unsigned> out;
+    for (const std::string &tok : splitList(value)) {
+        char *end = nullptr;
+        long n = std::strtol(tok.c_str(), &end, 10);
+        if (n <= 0 || end == tok.c_str() || *end != '\0') {
+            if (strictArgs(argc, argv)) {
+                std::fprintf(stderr,
+                             "error: %s expects positive integers, "
+                             "got '%s'\n",
+                             flag, tok.c_str());
+                std::exit(2);
+            }
+            std::fprintf(stderr,
+                         "warning: %s expects positive integers, got "
+                         "'%s'; using the default\n",
+                         flag, tok.c_str());
+            return def;
+        }
+        out.push_back(static_cast<unsigned>(n));
+    }
+    return out.empty() ? def : out;
+}
+
+/**
+ * Boolean switch with an explicit value: `@p flag on|off` (also
+ * accepts 1/0/true/false), or @p def when absent. Anything else warns
+ * and keeps @p def — or, under `--strict-args`, exits with status 2.
+ */
+inline bool
+onOffArg(int argc, char **argv, const char *flag, bool def)
+{
+    std::string value = stringOpt(argc, argv, flag);
+    if (value.empty())
+        return def;
+    if (value == "on" || value == "1" || value == "true")
+        return true;
+    if (value == "off" || value == "0" || value == "false")
+        return false;
+    if (strictArgs(argc, argv)) {
+        std::fprintf(stderr, "error: %s expects on|off, got '%s'\n",
+                     flag, value.c_str());
+        std::exit(2);
+    }
+    std::fprintf(stderr,
+                 "warning: %s expects on|off, got '%s'; keeping the "
+                 "default\n",
+                 flag, value.c_str());
+    return def;
+}
+
+/** `--json PATH` destination for the structured report ("" = none). */
+inline std::string
+jsonPathArg(int argc, char **argv)
+{
+    return stringOpt(argc, argv, "--json");
 }
 
 } // namespace cli

@@ -225,6 +225,24 @@ System::scheduleInvariantCheck()
         EventPriority::Stats);
 }
 
+void
+System::setOpGate(OpGate *gate)
+{
+    for (auto &core : _cores) {
+        core->setOpGate(gate);
+        core->storeBuffer().setManualDrain(gate != nullptr);
+    }
+}
+
+void
+System::startGated()
+{
+    if (_shard_rt)
+        _shard_rt->start();
+    for (auto &core : _cores)
+        core->start();
+}
+
 Tick
 System::run(Tick max_tick)
 {

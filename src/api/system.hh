@@ -113,6 +113,21 @@ class System
     Tick run(Tick max_tick = kMaxTick);
 
     /**
+     * Install a schedule gate on every core (see sim/op_gate.hh) and
+     * switch the store buffers to manual drain: the litmus runner then
+     * owns both op release order and store-retirement order. Must be
+     * called before startGated().
+     */
+    void setOpGate(OpGate *gate);
+
+    /**
+     * Start the shard runtime and the cores without entering the
+     * free-running loop of run(): the caller steps eventQueue() itself.
+     * Used by the litmus schedule runner.
+     */
+    void startGated();
+
+    /**
      * Run until @p crash_tick, then fail power: halts the cores, applies
      * the mode's flush-on-fail drain, and returns the cost report. The
      * post-crash image is available through image()/pmemImage().

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "sim/op_gate.hh"
 
 namespace bbb
 {
@@ -328,8 +331,16 @@ MemSideBbpb::crashDrain(const PersistSink &sink)
 {
     for (CoreBuffer &buf : _bufs) {
         // FCFS order within a core (order is irrelevant across blocks
-        // since each block has exactly one entry system-wide).
-        for (std::uint32_t s = buf.head; s != kNil; s = buf.slots[s].next) {
+        // since each block has exactly one entry system-wide). The
+        // seeded "crash-reverse-drain" mutation streams newest-first,
+        // so an exhausted battery sacrifices the *oldest* persists — the
+        // prefix violation the litmus harness must catch.
+        std::vector<std::uint32_t> order;
+        for (std::uint32_t s = buf.head; s != kNil; s = buf.slots[s].next)
+            order.push_back(s);
+        if (litmusMutation("crash-reverse-drain"))
+            std::reverse(order.begin(), order.end());
+        for (std::uint32_t s : order) {
             sink(buf.slots[s].block, buf.slots[s].data);
             ++_stats.crash_drained;
         }
@@ -615,8 +626,12 @@ void
 ProcSideBbpb::crashDrain(const PersistSink &sink)
 {
     for (CoreBuffer &buf : _bufs) {
+        // Ordered store records stream oldest-first; see the mem-side
+        // comment for the seeded "crash-reverse-drain" mutation.
+        const bool reversed = litmusMutation("crash-reverse-drain");
         for (std::uint32_t i = 0; i < buf.count; ++i) {
-            const Record &r = recordAt(buf, i);
+            std::uint32_t at = reversed ? buf.count - 1 - i : i;
+            const Record &r = recordAt(buf, at);
             sink(r.block, r.data);
             ++_stats.crash_drained;
         }

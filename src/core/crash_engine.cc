@@ -152,7 +152,8 @@ CrashEngine::crash(Tick now)
     // core-side SRAM: its bytes charge the battery at the L2/L3 rate
     // (see DrainCostModel::bbbCrashBudgetJ). Per the report's historical
     // contract they do not count into drained_bytes/drain_energy_j.
-    for (auto &kv : _nvmm.takeWpqForCrash()) {
+    auto wpq = _nvmm.takeWpqForCrash();
+    for (auto &kv : wpq) {
         if (batteryAllows(kBlockSize, llc_rate_j)) {
             writeDrainedBlock(kv.first, kv.second);
             _nvmm.creditCrashCommit();

@@ -87,6 +87,14 @@ ThreadContext::persistBarrier()
 }
 
 void
+ThreadContext::fullFence()
+{
+    MemOp op;
+    op.kind = OpKind::Fence;
+    issue(op);
+}
+
+void
 ThreadContext::compute(std::uint64_t cycles)
 {
     if (cycles == 0)
@@ -203,6 +211,10 @@ Core::resumeFiber()
             return;
         }
         noteIssued(op);
+        if (_gate) {
+            _gate->onParked(_id);
+            return;
+        }
         executePending();
         return;
     }
@@ -216,6 +228,18 @@ Core::resumeFiber()
     }
 
     BBB_ASSERT(_op_in_flight, "fiber yielded without an op");
+    if (_gate) {
+        _gate->onParked(_id);
+        return;
+    }
+    executePending();
+}
+
+void
+Core::releasePending()
+{
+    BBB_ASSERT(_gate, "releasePending without a gate");
+    BBB_ASSERT(_op_in_flight, "releasePending with nothing parked");
     executePending();
 }
 
@@ -299,7 +323,13 @@ Core::executePending()
         // clwb-style flushes are asynchronous: the instruction retires
         // after issue; the writeback proceeds in the background and only
         // a fence waits for it (x86 clwb / Arm DC CVAP semantics).
-        Tick lat = _hier.flushBlock(_id, _pending.addr);
+        // The seeded "flush-drop" mutation retires the flush without
+        // writing anything back: fence-confirmed data never reaches the
+        // persistence domain — the Px86 violation the litmus
+        // mutation-kill self-check must catch.
+        Tick lat = litmusMutation("flush-drop")
+                       ? cycle
+                       : _hier.flushBlock(_id, _pending.addr);
         ++_flushes_outstanding;
         _eq.scheduleIn(lat,
                        [this]() {

@@ -28,6 +28,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/fiber.hh"
+#include "sim/op_gate.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 
@@ -67,6 +68,14 @@ class ThreadContext
     /** Persist barrier (sfence): order prior flushes before later stores.
      *  Also a no-op outside the ADR/PMEM mode. */
     void persistBarrier();
+
+    /**
+     * Full memory fence (mfence): drain the store buffer and wait for
+     * outstanding flushes in *every* mode — unlike persistBarrier(),
+     * which only the ADR/PMEM machine executes. Litmus tests use this
+     * for the consistency-ordering fences of the TSO cases.
+     */
+    void fullFence();
 
     /** Burn @p cycles of compute time. */
     void compute(std::uint64_t cycles);
@@ -137,6 +146,19 @@ class Core
         _op_observer = std::move(observer);
     }
 
+    /**
+     * Install a schedule gate (see sim/op_gate.hh): every issued op
+     * parks at commit time until releasePending() runs it. Install
+     * before start(); passing nullptr restores free-running execution.
+     */
+    void setOpGate(OpGate *gate) { _gate = gate; }
+
+    /** Execute the op parked by the gate (runner context). */
+    void releasePending();
+
+    /** True if a gated op is parked awaiting releasePending(). */
+    bool hasParkedOp() const { return _gate && _op_in_flight; }
+
     std::uint64_t memOps() const { return _ops.value(); }
 
   private:
@@ -173,6 +195,7 @@ class Core
 
     MemOp _pending;
     std::function<void(const MemOp &)> _op_observer;
+    OpGate *_gate = nullptr;
     /** Issued clwb-style flushes not yet durable (fences wait on this). */
     unsigned _flushes_outstanding = 0;
     std::uint64_t _result = 0;

@@ -1,5 +1,7 @@
 #include "cpu/store_buffer.hh"
 
+#include "sim/op_gate.hh"
+
 namespace bbb
 {
 
@@ -63,7 +65,7 @@ StoreBuffer::hasBlock(Addr block) const
 void
 StoreBuffer::maybeScheduleDrain(Tick delay)
 {
-    if (_drain_active || _entries.empty())
+    if (_manual_drain || _drain_active || _entries.empty())
         return;
     _drain_active = true;
     Tick now = _eq.now();
@@ -139,6 +141,32 @@ StoreBuffer::drainStep()
 
     if (_on_change)
         _on_change();
+}
+
+bool
+StoreBuffer::retireOne()
+{
+    BBB_ASSERT(_manual_drain, "retireOne outside manual drain mode");
+    if (_entries.empty())
+        return false;
+
+    // TSO drain order is oldest-first. The seeded "drain-youngest"
+    // mutation retires the youngest entry instead — the ordering bug the
+    // litmus mutation-kill self-check must catch.
+    std::size_t idx = 0;
+    if (litmusMutation("drain-youngest"))
+        idx = _entries.size() - 1;
+
+    AccessResult res = _hier.store(_core, _entries[idx].addr,
+                                   _entries[idx].size,
+                                   &_entries[idx].data);
+    BBB_ASSERT(res.status == StoreStatus::Done,
+               "manual drain rejected by the persistency backend");
+    _entries.erase(_entries.begin() + static_cast<std::ptrdiff_t>(idx));
+    ++_retired;
+    if (_on_change)
+        _on_change();
+    return true;
 }
 
 std::deque<SbEntry>

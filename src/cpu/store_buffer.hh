@@ -68,6 +68,22 @@ class StoreBuffer
     /** Allow younger drainable stores to bypass a blocked head. */
     void setOutOfOrderDrain(bool ooo) { _ooo_drain = ooo; }
 
+    /**
+     * Manual drain mode (litmus schedule control): the periodic drain
+     * engine stays idle and entries retire only through retireOne(), so
+     * the schedule runner decides exactly when each buffered store
+     * becomes visible to the coherence fabric.
+     */
+    void setManualDrain(bool manual) { _manual_drain = manual; }
+
+    /**
+     * Synchronously retire the oldest entry to the L1D (manual drain
+     * mode). Returns false on an empty buffer. The write must be
+     * accepted — litmus configurations size the bbPB so a manual drain
+     * can never see a RetryPersist.
+     */
+    bool retireOne();
+
     /** Program-order snapshot of buffered persisting stores (crash). */
     std::deque<SbEntry> drainForCrash();
 
@@ -94,6 +110,7 @@ class StoreBuffer
      */
     Tick _port_free = 0;
     bool _ooo_drain = false;
+    bool _manual_drain = false;
     std::function<void()> _on_change;
 
     StatCounter _pushes;

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The built-in litmus corpus: classic consistency shapes (SB, MP, LB,
+ * coherence, WRC, IRIW, ...), persistency idioms (epoch flushes,
+ * missing-flush data loss, flush ordering, WPQ/ADR residency), bbPB
+ * ownership migration, and battery-prefix sweeps. Tests tagged `smoke`
+ * form the fast ctest subset; the rest run under the `litmus_full`
+ * label.
+ */
+
+#ifndef BBB_LITMUS_CORPUS_HH
+#define BBB_LITMUS_CORPUS_HH
+
+#include <vector>
+
+#include "litmus/litmus.hh"
+
+namespace bbb
+{
+namespace litmus
+{
+
+/** Every built-in test, parsed once (embedded text must be valid —
+ *  a parse failure here is fatal). */
+const std::vector<Test> &corpus();
+
+/** The `smoke` subset of corpus(). */
+std::vector<Test> smokeCorpus();
+
+/** Find a corpus test by name; nullptr when absent. */
+const Test *findTest(const std::string &name);
+
+} // namespace litmus
+} // namespace bbb
+
+#endif // BBB_LITMUS_CORPUS_HH

@@ -1,0 +1,105 @@
+#include "litmus/enumerate.hh"
+
+#include <algorithm>
+
+namespace bbb
+{
+namespace litmus
+{
+
+namespace
+{
+
+struct Dfs
+{
+    const Program &prog;
+    const EnumOptions &opts;
+    EnumStats &stats;
+    const Visitor &visit;
+    std::vector<Step> schedule;
+
+    bool
+    contains(const std::vector<Step> &set, Step s) const
+    {
+        return std::find(set.begin(), set.end(), s) != set.end();
+    }
+
+    /**
+     * Visit the node reached by `schedule` (state passed by value:
+     * litmus states are a few hundred bytes, and copying keeps the
+     * recursion simple and exception-safe).
+     *
+     * `sleep` holds steps whose exploration here is provably redundant:
+     * an equivalent schedule taking that step first was already
+     * explored from an ancestor. Standard sleep-set rule: after
+     * exploring child `chosen`, later siblings add `chosen` to their
+     * sleep set; a child inherits the parent's sleep set minus every
+     * step dependent with the chosen one.
+     */
+    bool
+    node(ModelState state, std::vector<Step> sleep)
+    {
+        ++stats.nodes;
+        if (opts.max_nodes && stats.nodes > opts.max_nodes) {
+            stats.aborted = true;
+            stats.abort_prefix = scheduleString(schedule);
+            return false;
+        }
+
+        std::vector<Step> steps = state.enabledSteps(prog);
+        bool is_leaf = steps.empty();
+        if (is_leaf)
+            ++stats.leaves;
+        if (!visit(state, schedule, is_leaf))
+            return false;
+
+        for (std::size_t i = 0; i < steps.size(); ++i) {
+            Step chosen = steps[i];
+            if (opts.por && contains(sleep, chosen)) {
+                ++stats.pruned;
+                continue;
+            }
+
+            std::vector<Step> child_sleep;
+            if (opts.por) {
+                // Earlier siblings (explored or slept) plus the
+                // inherited set, filtered to steps independent of the
+                // chosen one. Dependence is evaluated at *this* state,
+                // where both steps are enabled.
+                for (std::size_t j = 0; j < i; ++j) {
+                    if (!dependent(prog, state, steps[j], chosen))
+                        child_sleep.push_back(steps[j]);
+                }
+                for (Step s : sleep) {
+                    if (!contains(child_sleep, s) &&
+                        !dependent(prog, state, s, chosen))
+                        child_sleep.push_back(s);
+                }
+            }
+
+            ModelState next = state;
+            next.apply(prog, chosen);
+            schedule.push_back(chosen);
+            bool ok = node(std::move(next), std::move(child_sleep));
+            schedule.pop_back();
+            if (!ok)
+                return false;
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+enumerate(const Program &prog, const EnumOptions &opts, EnumStats *stats,
+          const Visitor &visit)
+{
+    *stats = EnumStats{};
+    unsigned nvars = kMaxVars; // state tracks all slots; unused stay 0
+    Dfs dfs{prog, opts, *stats, visit, {}};
+    return dfs.node(ModelState::initial(nvars), {});
+}
+
+} // namespace litmus
+} // namespace bbb

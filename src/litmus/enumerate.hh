@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Exhaustive schedule enumerator: depth-first search over every
+ * interleaving of issue/drain steps of a lowered litmus program,
+ * with optional sleep-set partial-order reduction.
+ *
+ * The visitor is called at EVERY node (prefix), not just leaves —
+ * each prefix is a crash point, so the harness snapshots the
+ * post-crash image there. A leaf is a node with no enabled steps:
+ * all threads ran to completion and every store buffer drained.
+ *
+ * Sleep sets prune redundant interleavings of *independent* steps
+ * (see dependent() in model.hh) while still visiting every reachable
+ * state, so reachability witnesses remain sound under POR. The
+ * harness also cross-checks POR against the unreduced search on the
+ * small golden programs (tests/test_litmus_harness.cpp).
+ */
+
+#ifndef BBB_LITMUS_ENUMERATE_HH
+#define BBB_LITMUS_ENUMERATE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "litmus/model.hh"
+
+namespace bbb
+{
+namespace litmus
+{
+
+struct EnumOptions
+{
+    /** Sleep-set partial-order reduction. */
+    bool por = true;
+    /** Abort the search past this many visited nodes (watchdog for
+     *  runaway corpora; 0 = unlimited). */
+    std::uint64_t max_nodes = 200000;
+};
+
+struct EnumStats
+{
+    std::uint64_t nodes = 0;  ///< prefixes visited (incl. root, leaves)
+    std::uint64_t leaves = 0; ///< complete schedules
+    std::uint64_t pruned = 0; ///< branches skipped by sleep sets
+    bool aborted = false;     ///< hit max_nodes
+    std::string abort_prefix; ///< schedule at the abort point
+};
+
+/**
+ * Called once per visited prefix with the model state *after* the
+ * prefix. Return false to abort the whole search (e.g. on the first
+ * divergence when fail-fast is wanted).
+ */
+using Visitor = std::function<bool(const ModelState &state,
+                                   const std::vector<Step> &schedule,
+                                   bool is_leaf)>;
+
+/**
+ * Enumerate every schedule of @p prog, invoking @p visit at each
+ * prefix. Returns false if the visitor aborted or max_nodes was hit
+ * (stats->aborted distinguishes the two).
+ */
+bool enumerate(const Program &prog, const EnumOptions &opts,
+               EnumStats *stats, const Visitor &visit);
+
+} // namespace litmus
+} // namespace bbb
+
+#endif // BBB_LITMUS_ENUMERATE_HH

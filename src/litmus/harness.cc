@@ -1,0 +1,523 @@
+#include "litmus/harness.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "energy/energy_model.hh"
+#include "sim/logging.hh"
+
+namespace bbb
+{
+namespace litmus
+{
+
+std::string
+Violation::format() const
+{
+    std::string s = test + "/" + modeName(mode) + "/w" +
+                    std::to_string(width) + " schedule [" + schedule +
+                    "]: " + detail;
+    // "(any)" (missing witness) and abort markers have no single
+    // schedule to replay.
+    if (!schedule.empty() && schedule != "(any)" &&
+        schedule != "(empty)") {
+        s += "\n  replay: bbb-litmus --replay \"" + schedule +
+             "\" --test " + test + " --mode " + modeName(mode) +
+             " --width " + std::to_string(width);
+    }
+    return s;
+}
+
+void
+HarnessResult::merge(const HarnessResult &o)
+{
+    violations.insert(violations.end(), o.violations.begin(),
+                      o.violations.end());
+    tests_run += o.tests_run;
+    configs_run += o.configs_run;
+    nodes += o.nodes;
+    leaves += o.leaves;
+    pruned += o.pruned;
+    sim_runs += o.sim_runs;
+    battery_runs += o.battery_runs;
+}
+
+namespace
+{
+
+/**
+ * BBB_JOB_TIMEOUT_S watchdog: instead of a hung (or merely huge)
+ * enumeration silently eating a CI job's timeout, die with the exact
+ * test, configuration, and schedule prefix being explored.
+ */
+struct Watchdog
+{
+    std::chrono::steady_clock::time_point deadline{};
+    bool enabled = false;
+
+    static Watchdog
+    fromEnv()
+    {
+        Watchdog w;
+        const char *env = std::getenv("BBB_JOB_TIMEOUT_S");
+        if (!env || !*env)
+            return w;
+        long secs = std::strtol(env, nullptr, 10);
+        if (secs <= 0)
+            return w;
+        w.enabled = true;
+        w.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::seconds(secs);
+        return w;
+    }
+
+    void
+    check(const std::string &test, Mode mode, unsigned width,
+          std::uint64_t nodes, const std::vector<Step> &schedule) const
+    {
+        if (!enabled || std::chrono::steady_clock::now() < deadline)
+            return;
+        fatal("litmus watchdog: BBB_JOB_TIMEOUT_S expired in test %s "
+              "(%s, width %u) after %llu nodes; exploring prefix [%s]",
+              test.c_str(), modeName(mode), width,
+              (unsigned long long)nodes,
+              scheduleString(schedule).c_str());
+    }
+};
+
+std::string
+u64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** One canonical line per prefix: the cross-width determinism unit. */
+std::string
+outcomeLine(const Test &test, const std::vector<Step> &schedule,
+            const SimResult &sim)
+{
+    std::string line = "[" + scheduleString(schedule) + "]";
+    line += " regs ";
+    for (unsigned r = 0; r < test.regs.size(); ++r) {
+        if (r)
+            line += ",";
+        line += test.regs[r] + "=";
+        line += sim.reg_done[r] ? u64(sim.regs[r]) : "-";
+    }
+    line += " image ";
+    for (unsigned v = 0; v < test.vars.size(); ++v) {
+        if (v)
+            line += ",";
+        line += test.vars[v] + "=" + u64(sim.image[v]);
+    }
+    if (sim.completed) {
+        line += " final ";
+        for (unsigned v = 0; v < test.vars.size(); ++v) {
+            if (v)
+                line += ",";
+            line += test.vars[v] + "=" + u64(sim.final_mem[v]);
+        }
+    }
+    return line;
+}
+
+/** The persist order the strict crash drain must honour: each core's
+ *  persisting stores in program order, cores concatenated in id order
+ *  (CrashEngine walks per-core bbPB buffers in core order; within one
+ *  core FCFS allocation == TSO retirement == program order). Valid for
+ *  battery tests only, where each variable is stored at most once. */
+std::vector<std::pair<int, std::uint64_t>>
+batteryPersistOrder(const Program &prog)
+{
+    std::vector<std::pair<int, std::uint64_t>> order;
+    for (const auto &thread : prog.threads) {
+        for (const MOp &op : thread) {
+            if (op.kind == MKind::Store)
+                order.emplace_back(op.var, op.val);
+        }
+    }
+    return order;
+}
+
+struct RunContext
+{
+    const Test &test;
+    const Program &prog;
+    Mode mode;
+    unsigned width;
+    const HarnessOptions &opts;
+    const Watchdog &watchdog;
+    HarnessResult &res;
+    std::vector<std::string> &stream;
+
+    unsigned run_violations = 0;
+    std::vector<bool> witness_seen{};
+
+    void
+    addViolation(const std::vector<Step> &schedule, std::string detail)
+    {
+        ++run_violations;
+        if (run_violations == opts.max_violations_per_run + 1) {
+            res.violations.push_back(
+                {test.name, mode, width, scheduleString(schedule),
+                 "further violations in this configuration suppressed"});
+            return;
+        }
+        if (run_violations > opts.max_violations_per_run)
+            return;
+        res.violations.push_back({test.name, mode, width,
+                                  scheduleString(schedule),
+                                  std::move(detail)});
+    }
+
+    /** Per-prefix lockstep comparison; returns false past the
+     *  violation cap (aborts this configuration's enumeration). */
+    bool
+    visit(const ModelState &model, const std::vector<Step> &schedule,
+          bool is_leaf)
+    {
+        if (opts.visit_hook)
+            opts.visit_hook();
+        watchdog.check(test.name, mode, width, res.nodes + 1, schedule);
+        ++res.sim_runs;
+        SimResult sim =
+            runSchedule(test, prog, mode, width, schedule);
+
+        if (!sim.ok) {
+            addViolation(schedule, sim.error);
+            return run_violations <= opts.max_violations_per_run;
+        }
+
+        for (unsigned r = 0; r < test.regs.size(); ++r) {
+            if (sim.reg_done[r] != model.reg_done[r]) {
+                addViolation(schedule,
+                             "register " + test.regs[r] +
+                                 (sim.reg_done[r]
+                                      ? " written by the simulator but "
+                                        "not the model"
+                                      : " written by the model but not "
+                                        "the simulator"));
+            } else if (sim.reg_done[r] &&
+                       sim.regs[r] != model.regs[r]) {
+                addViolation(schedule, "register " + test.regs[r] +
+                                           ": sim " + u64(sim.regs[r]) +
+                                           " != model " +
+                                           u64(model.regs[r]));
+            }
+        }
+
+        for (unsigned v = 0; v < test.vars.size(); ++v) {
+            if (!model.imageValueAllowed(mode, int(v), sim.image[v])) {
+                addViolation(
+                    schedule,
+                    "post-crash image " + test.vars[v] + "=" +
+                        u64(sim.image[v]) + " not in allowed set " +
+                        model.allowedImageValues(mode, int(v)));
+            }
+        }
+
+        // Fault-free crash: the drain must be total and ordered.
+        if (sim.crash.battery_exhausted ||
+            sim.crash.sacrificed_blocks != 0)
+            addViolation(schedule,
+                         "fault-free crash sacrificed " +
+                             u64(sim.crash.sacrificed_blocks) +
+                             " block(s)");
+        if (!sim.crash.drain_prefix_ok)
+            addViolation(schedule,
+                         "crash drain violated the oldest-first prefix");
+
+        if (is_leaf != sim.completed) {
+            addViolation(schedule,
+                         is_leaf ? "model finished but the simulator "
+                                   "has work left"
+                                 : "simulator finished but the model "
+                                   "has work left");
+        } else if (is_leaf) {
+            for (unsigned v = 0; v < test.vars.size(); ++v) {
+                if (sim.final_mem[v] != model.mem[v]) {
+                    addViolation(schedule,
+                                 "final memory " + test.vars[v] +
+                                     ": sim " + u64(sim.final_mem[v]) +
+                                     " != model " + u64(model.mem[v]));
+                }
+            }
+        }
+
+        noteWitnesses(sim, is_leaf);
+        stream.push_back(outcomeLine(test, schedule, sim));
+
+        if (is_leaf && test.battery &&
+            (mode == Mode::Bbb || mode == Mode::ProcSide))
+            batterySweep(model, schedule);
+
+        return run_violations <= opts.max_violations_per_run;
+    }
+
+    void
+    noteWitnesses(const SimResult &sim, bool is_leaf)
+    {
+        for (std::size_t w = 0; w < test.witnesses.size(); ++w) {
+            const Witness &wit = test.witnesses[w];
+            if (witness_seen[w])
+                continue;
+            if (!wit.modes.empty() &&
+                std::find(wit.modes.begin(), wit.modes.end(), mode) ==
+                    wit.modes.end())
+                continue;
+            bool match = true;
+            if (wit.on_crash) {
+                for (const auto &kv : wit.vars)
+                    match = match && sim.image[kv.first] == kv.second;
+            } else {
+                match = is_leaf;
+                for (const auto &kv : wit.regs)
+                    match = match && sim.reg_done[kv.first] &&
+                            sim.regs[kv.first] == kv.second;
+            }
+            if (match)
+                witness_seen[w] = true;
+        }
+    }
+
+    /**
+     * Undersized-battery sweep at a leaf: with budget for exactly k
+     * items, the image must be the exact k-item cut of the strict
+     * persist order — not one block more, less, or reordered.
+     */
+    void
+    batterySweep(const ModelState &model, const std::vector<Step> &sch)
+    {
+        (void)model;
+        auto order = batteryPersistOrder(prog);
+        const EnergyConstants con;
+        const double item_j =
+            double(kBlockSize) * (con.sram_access_j_per_byte +
+                                  con.l1_to_nvmm_j_per_byte);
+        for (std::size_t k = 0; k <= order.size(); ++k) {
+            ++res.battery_runs;
+            FaultPlan plan;
+            plan.battery_j = (double(k) + 0.5) * item_j;
+            SimResult sim =
+                runSchedule(test, prog, mode, width, sch, &plan);
+            std::string tag =
+                "battery k=" + std::to_string(k) + ": ";
+            if (!sim.ok) {
+                addViolation(sch, tag + sim.error);
+                continue;
+            }
+            bool should_exhaust = k < order.size();
+            if (sim.crash.battery_exhausted != should_exhaust)
+                addViolation(sch, tag + "battery_exhausted=" +
+                                      (sim.crash.battery_exhausted
+                                           ? "true"
+                                           : "false") +
+                                      ", expected the opposite");
+            std::uint64_t want_lost = order.size() - k;
+            if (sim.crash.sacrificed_blocks != want_lost)
+                addViolation(sch,
+                             tag + "sacrificed " +
+                                 u64(sim.crash.sacrificed_blocks) +
+                                 " blocks, expected " + u64(want_lost));
+            if (!sim.crash.drain_prefix_ok)
+                addViolation(sch, tag + "drain prefix oracle violated");
+            std::array<std::uint64_t, kMaxVars> want{};
+            for (std::size_t i = 0; i < k; ++i)
+                want[order[i].first] = order[i].second;
+            for (unsigned v = 0; v < test.vars.size(); ++v) {
+                if (sim.image[v] != want[v]) {
+                    addViolation(sch, tag + "image " + test.vars[v] +
+                                          "=" + u64(sim.image[v]) +
+                                          ", expected exact prefix "
+                                          "value " +
+                                          u64(want[v]));
+                }
+            }
+        }
+    }
+};
+
+/** Modes a run covers: the intersection of the test's and the
+ *  options', in canonical order. */
+std::vector<Mode>
+effectiveModes(const Test &test, const HarnessOptions &opts)
+{
+    std::vector<Mode> out;
+    for (Mode m : allModes()) {
+        if (!test.runsIn(m))
+            continue;
+        if (!opts.modes.empty() &&
+            std::find(opts.modes.begin(), opts.modes.end(), m) ==
+                opts.modes.end())
+            continue;
+        out.push_back(m);
+    }
+    return out;
+}
+
+} // namespace
+
+HarnessResult
+checkTest(const Test &test, const HarnessOptions &opts)
+{
+    HarnessResult res;
+    ++res.tests_run;
+    Watchdog watchdog = Watchdog::fromEnv();
+    BBB_ASSERT(!opts.widths.empty(), "no shard widths to check");
+
+    for (Mode mode : effectiveModes(test, opts)) {
+        Program prog = lower(test, mode);
+        std::vector<std::vector<std::string>> streams;
+        for (unsigned width : opts.widths) {
+            ++res.configs_run;
+            streams.emplace_back();
+            RunContext ctx{test,  prog,     mode,
+                           width, opts,     watchdog,
+                           res,   streams.back()};
+            ctx.witness_seen.assign(test.witnesses.size(), false);
+
+            EnumOptions eopts;
+            eopts.por = opts.por;
+            eopts.max_nodes = opts.max_nodes;
+            EnumStats stats;
+            enumerate(prog, eopts, &stats,
+                      [&](const ModelState &state,
+                          const std::vector<Step> &schedule,
+                          bool is_leaf) {
+                          return ctx.visit(state, schedule, is_leaf);
+                      });
+            res.nodes += stats.nodes;
+            res.leaves += stats.leaves;
+            res.pruned += stats.pruned;
+            if (stats.aborted) {
+                res.violations.push_back(
+                    {test.name, mode, width, stats.abort_prefix,
+                     "enumeration aborted at max_nodes=" +
+                         u64(eopts.max_nodes) +
+                         " — raise --max-nodes or shrink the test"});
+                continue;
+            }
+
+            for (std::size_t w = 0; w < test.witnesses.size(); ++w) {
+                const Witness &wit = test.witnesses[w];
+                if (!wit.modes.empty() &&
+                    std::find(wit.modes.begin(), wit.modes.end(),
+                              mode) == wit.modes.end())
+                    continue;
+                if (!ctx.witness_seen[w]) {
+                    res.violations.push_back(
+                        {test.name, mode, width, "(any)",
+                         "witness never observed: " + wit.text});
+                }
+            }
+        }
+
+        // Shard-width determinism: the per-prefix outcome stream must
+        // be byte-identical at every width.
+        for (std::size_t i = 1; i < streams.size(); ++i) {
+            if (streams[i] == streams[0])
+                continue;
+            std::size_t at = 0;
+            while (at < streams[i].size() && at < streams[0].size() &&
+                   streams[i][at] == streams[0][at])
+                ++at;
+            std::string lhs = at < streams[0].size() ? streams[0][at]
+                                                     : "(missing)";
+            std::string rhs = at < streams[i].size() ? streams[i][at]
+                                                     : "(missing)";
+            res.violations.push_back(
+                {test.name, mode, opts.widths[i], "(stream)",
+                 "outcome stream diverges from width " +
+                     std::to_string(opts.widths[0]) + " at entry " +
+                     u64(at) + ": " + lhs + " vs " + rhs});
+        }
+    }
+    return res;
+}
+
+HarnessResult
+checkCorpus(const std::vector<Test> &tests, const HarnessOptions &opts)
+{
+    HarnessResult res;
+    for (const Test &t : tests) {
+        HarnessResult one = checkTest(t, opts);
+        res.merge(one);
+    }
+    return res;
+}
+
+std::string
+replaySchedule(const Test &test, Mode mode, unsigned width,
+               const std::vector<Step> &steps, bool *ok)
+{
+    *ok = true;
+    std::string out;
+    if (!test.runsIn(mode)) {
+        *ok = false;
+        return "test '" + test.name + "' does not run in mode " +
+               modeName(mode) + "\n";
+    }
+    Program prog = lower(test, mode);
+
+    ModelState model = ModelState::initial(kMaxVars);
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        if (!model.enabled(prog, steps[i])) {
+            *ok = false;
+            return "schedule step " + std::to_string(i) + " (" +
+                   stepName(steps[i]) +
+                   ") is not enabled in the model — not a reachable "
+                   "prefix of this test's " +
+                   std::string(modeName(mode)) + " lowering\n";
+        }
+        model.apply(prog, steps[i]);
+    }
+    bool is_leaf = model.enabledSteps(prog).empty();
+
+    SimResult sim = runSchedule(test, prog, mode, width, steps);
+    out += "test " + test.name + " mode " + modeName(mode) + " width " +
+           std::to_string(width) + "\n";
+    out += "schedule [" + scheduleString(steps) + "]" +
+           (is_leaf ? " (complete)" : " (prefix; crash point)") + "\n";
+    if (!sim.ok) {
+        *ok = false;
+        out += "DRIVE ERROR: " + sim.error + "\n";
+        return out;
+    }
+    for (unsigned r = 0; r < test.regs.size(); ++r) {
+        std::string simv =
+            sim.reg_done[r] ? u64(sim.regs[r]) : "(not written)";
+        std::string modelv =
+            model.reg_done[r] ? u64(model.regs[r]) : "(not written)";
+        bool match = sim.reg_done[r] == model.reg_done[r] &&
+                     (!sim.reg_done[r] || sim.regs[r] == model.regs[r]);
+        if (!match)
+            *ok = false;
+        out += "  reg " + test.regs[r] + ": sim " + simv + ", model " +
+               modelv + (match ? "" : "  << MISMATCH") + "\n";
+    }
+    for (unsigned v = 0; v < test.vars.size(); ++v) {
+        bool allowed =
+            model.imageValueAllowed(mode, int(v), sim.image[v]);
+        if (!allowed)
+            *ok = false;
+        out += "  image " + test.vars[v] + ": sim " +
+               u64(sim.image[v]) + ", allowed " +
+               model.allowedImageValues(mode, int(v)) +
+               (allowed ? "" : "  << MISMATCH") + "\n";
+    }
+    if (is_leaf != sim.completed) {
+        *ok = false;
+        out += "  completion: sim ";
+        out += (sim.completed ? "finished" : "unfinished");
+        out += ", model ";
+        out += (is_leaf ? "finished" : "unfinished");
+        out += "  << MISMATCH\n";
+    }
+    out += *ok ? "OK: simulator matches the model on this prefix\n"
+               : "DIVERGENCE: see mismatches above\n";
+    return out;
+}
+
+} // namespace litmus
+} // namespace bbb

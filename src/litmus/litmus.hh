@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Litmus-test DSL: small multi-threaded programs over a handful of
+ * persistent variables, model-checked exhaustively against the
+ * declarative persistency models (docs/architecture.md, "Litmus
+ * harness").
+ *
+ * A test is written in a tiny text format:
+ *
+ *   test sb                      # name (required, first line)
+ *   smoke                        # member of the fast ctest subset
+ *   modes bbb procside eadr pmem_strict   # default: this safe set
+ *   battery                      # run the battery-prefix sweep too
+ *   t0: st x 1; ld y r0          # threads t0..t3, <= 8 ops each
+ *   t1: st y 1; ld x r1
+ *   sometimes final r0=0 r1=0    # reachability witness on final regs
+ *   sometimes [pmem] crash y=1 x=0   # witness on a post-crash image
+ *
+ * Ops: `st VAR VAL`, `ld VAR REG`, `flush VAR` (clwb), `flushopt VAR`
+ * (same timing model as flush), `sfence` (persist barrier), `mfence`
+ * (full fence). Variables are identifiers bound to distinct cache
+ * blocks in the persistent range, zero-initialised; registers r0..r15
+ * are global and each written by exactly one load. `#` starts a
+ * comment.
+ *
+ * `sometimes` clauses are liveness witnesses: the named partial outcome
+ * must be *reachable* in every listed mode (default: every mode the
+ * test runs). They keep the harness honest — a checker that explores
+ * nothing is vacuously green without them.
+ */
+
+#ifndef BBB_LITMUS_LITMUS_HH
+#define BBB_LITMUS_LITMUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace bbb
+{
+namespace litmus
+{
+
+constexpr unsigned kMaxThreads = 4;
+constexpr unsigned kMaxOpsPerThread = 8;
+constexpr unsigned kMaxVars = 8;
+constexpr unsigned kMaxRegs = 16;
+
+/**
+ * The persistency configurations a litmus test runs against. These are
+ * the paper's safe modes plus the epoch-style PMEM machine (flushes
+ * only where the program wrote them) used by the flush-idiom tests.
+ */
+enum class Mode
+{
+    Bbb,        ///< BbbMemSide: strict persistency via the bbPB.
+    ProcSide,   ///< BbbProcSide: strict persistency, ordered records.
+    Eadr,       ///< Whole-hierarchy battery: strict persistency.
+    Pmem,       ///< AdrPmem, epoch style (Px86: flush/fence as written).
+    PmemStrict, ///< AdrPmem with st -> st;flush;sfence lowering.
+};
+
+/** All modes, in canonical (reporting) order. */
+const std::vector<Mode> &allModes();
+
+/** CLI/DSL name of a mode ("bbb", "procside", "eadr", "pmem",
+ *  "pmem_strict"). */
+const char *modeName(Mode m);
+
+/** Parse a modeName() token; returns false on an unknown name. */
+bool modeFromName(const std::string &name, Mode *out);
+
+/** The SystemConfig persistency mode implementing @p m. */
+PersistMode persistModeOf(Mode m);
+
+/** True if @p m promises strict persistency (post-crash image ==
+ *  volatile memory order), false for the Px86 (flush/fence) models. */
+bool isStrictMode(Mode m);
+
+/** Source-level op kinds (before mode lowering). */
+enum class SrcKind : std::uint8_t
+{
+    Store,
+    Load,
+    Flush,    ///< clwb
+    FlushOpt, ///< clflushopt; same machine op in this model
+    SFence,   ///< persist barrier
+    MFence,   ///< full fence
+};
+
+/** One source op. Unused fields are -1/0. */
+struct SrcOp
+{
+    SrcKind kind;
+    int var = -1;
+    int reg = -1;
+    std::uint64_t val = 0;
+};
+
+/** A `sometimes` reachability witness. */
+struct Witness
+{
+    /** True: matches a post-crash image at any prefix. False: matches
+     *  the final registers of a completed schedule. */
+    bool on_crash = false;
+    /** Modes the witness applies to; empty = every mode the test runs. */
+    std::vector<Mode> modes;
+    /** Partial assignment over registers (final witnesses). */
+    std::vector<std::pair<int, std::uint64_t>> regs;
+    /** Partial assignment over variables (crash witnesses). */
+    std::vector<std::pair<int, std::uint64_t>> vars;
+    /** Source text, for failure messages. */
+    std::string text;
+};
+
+/** One parsed litmus test. */
+struct Test
+{
+    std::string name;
+    std::vector<std::vector<SrcOp>> threads;
+    std::vector<std::string> vars; ///< names, index = variable id
+    std::vector<std::string> regs; ///< names, index = register id
+    std::vector<Mode> modes;       ///< modes this test runs in
+    bool battery = false;          ///< also run the battery-prefix sweep
+    bool smoke = false;            ///< member of the fast subset
+    std::vector<Witness> witnesses;
+
+    /** True if @p m is in modes. */
+    bool runsIn(Mode m) const;
+};
+
+/**
+ * Parse one test from DSL text. On failure returns false and sets
+ * @p err (never fatal()s — the CLI surfaces the message).
+ */
+bool parseTest(const std::string &text, Test *out, std::string *err);
+
+/** Machine-level op kinds after mode lowering. */
+enum class MKind : std::uint8_t
+{
+    Store,
+    Load,
+    Flush,
+    Fence,
+};
+
+/** One lowered op. */
+struct MOp
+{
+    MKind kind;
+    int var = -1;
+    int reg = -1;
+    std::uint64_t val = 0;
+};
+
+/** A mode-lowered program: what both the simulator threads and the
+ *  declarative model execute. */
+struct Program
+{
+    std::vector<std::vector<MOp>> threads;
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(threads.size());
+    }
+};
+
+/**
+ * Lower @p test for @p mode:
+ *  - PmemStrict expands every store into st; flush; sfence (the
+ *    strict-persistency-on-PMEM baseline of Section II).
+ *  - Pmem / PmemStrict keep programmer flush/flushopt/sfence ops.
+ *  - The strict modes (bbb/procside/eadr) drop flushes and sfences —
+ *    Table I: no persist instructions are needed, and the machine does
+ *    not execute them (ThreadContext::writeBack/persistBarrier are
+ *    no-ops there).
+ *  - mfence survives every mode (it is a consistency fence).
+ */
+Program lower(const Test &test, Mode mode);
+
+} // namespace litmus
+} // namespace bbb
+
+#endif // BBB_LITMUS_LITMUS_HH

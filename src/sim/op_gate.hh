@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic schedule control for the event kernel.
+ *
+ * An OpGate turns the free-running cores into a stepwise machine: when a
+ * gate is installed on a Core, every operation the thread issues is
+ * *parked* at commit time instead of executing. The controller (the
+ * litmus schedule runner) is told which core parked, and decides — in
+ * whatever order its schedule dictates — when to call
+ * Core::releasePending() to let the op execute. Between releases the
+ * controller steps the event queue until the core parks its next op (or
+ * finishes), so exactly one program-order operation is in flight per
+ * release.
+ *
+ * The hook sits at the one point the inline and sharded kernels share:
+ * the commit-side resume, after the op is popped/noted and before it
+ * executes. Worker shards still run ahead through non-load segments, but
+ * commit order — and therefore every architectural outcome — is wholly
+ * runner-chosen, which is what makes litmus results identical at every
+ * `--shards` width.
+ *
+ * This header also hosts the litmus mutation switch: the mutation-kill
+ * self-checks seed one deliberate ordering bug behind the
+ * BBB_LITMUS_MUTATE environment variable and assert that the harness
+ * fails. The switch reads the environment on every call so tests can
+ * setenv/unsetenv around individual runs.
+ */
+
+#ifndef BBB_SIM_OP_GATE_HH
+#define BBB_SIM_OP_GATE_HH
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+/** Controller interface for gated (schedule-driven) cores. */
+class OpGate
+{
+  public:
+    virtual ~OpGate() = default;
+
+    /**
+     * Core @p core has an operation parked and waits for
+     * Core::releasePending(). Called in simulator (commit) context.
+     */
+    virtual void onParked(CoreId core) = 0;
+};
+
+/**
+ * True if BBB_LITMUS_MUTATE names @p name: the corresponding seeded
+ * ordering bug is active. Used only by the mutation-kill self-checks;
+ * unset (the normal case) costs one getenv per call on paths that are
+ * not hot.
+ */
+inline bool
+litmusMutation(const char *name)
+{
+    const char *env = std::getenv("BBB_LITMUS_MUTATE");
+    return env && std::strcmp(env, name) == 0;
+}
+
+} // namespace bbb
+
+#endif // BBB_SIM_OP_GATE_HH

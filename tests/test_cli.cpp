@@ -180,3 +180,64 @@ TEST(CliShardsDeath, StrictArgsRejectsBadEnvValue)
                 ::testing::ExitedWithCode(2),
                 "BBB_SHARDS must be a positive shard count");
 }
+
+TEST(CliUintList, DefaultWhenAbsent)
+{
+    Argv a({"--fast"});
+    std::vector<unsigned> def = {1, 4};
+    EXPECT_EQ(cli::uintListArg(a.argc(), a.argv(), "--widths", def), def);
+}
+
+TEST(CliUintList, ParsesCommaSeparatedValues)
+{
+    Argv a({"--widths", "1,2,4"});
+    std::vector<unsigned> want = {1, 2, 4};
+    EXPECT_EQ(cli::uintListArg(a.argc(), a.argv(), "--widths", {1}),
+              want);
+}
+
+TEST(CliUintList, NonStrictBadEntryKeepsDefault)
+{
+    Argv a({"--widths", "1,zero"});
+    std::vector<unsigned> def = {1, 4};
+    EXPECT_EQ(cli::uintListArg(a.argc(), a.argv(), "--widths", def), def);
+    Argv neg({"--widths", "-1"});
+    EXPECT_EQ(cli::uintListArg(neg.argc(), neg.argv(), "--widths", def),
+              def);
+}
+
+TEST(CliUintListDeath, StrictArgsRejectsBadEntry)
+{
+    Argv a({"--strict-args", "--widths", "1,x"});
+    EXPECT_EXIT(cli::uintListArg(a.argc(), a.argv(), "--widths", {1}),
+                ::testing::ExitedWithCode(2),
+                "--widths expects positive integers");
+}
+
+TEST(CliOnOff, ParsesSpellings)
+{
+    Argv on({"--por", "on"});
+    Argv off({"--por", "off"});
+    Argv one({"--por", "1"});
+    Argv zero({"--por", "0"});
+    EXPECT_TRUE(cli::onOffArg(on.argc(), on.argv(), "--por", false));
+    EXPECT_FALSE(cli::onOffArg(off.argc(), off.argv(), "--por", true));
+    EXPECT_TRUE(cli::onOffArg(one.argc(), one.argv(), "--por", false));
+    EXPECT_FALSE(cli::onOffArg(zero.argc(), zero.argv(), "--por", true));
+}
+
+TEST(CliOnOff, DefaultWhenAbsentOrMalformed)
+{
+    Argv absent({"--fast"});
+    EXPECT_TRUE(cli::onOffArg(absent.argc(), absent.argv(), "--por",
+                              true));
+    Argv bad({"--por", "maybe"});
+    EXPECT_TRUE(cli::onOffArg(bad.argc(), bad.argv(), "--por", true));
+}
+
+TEST(CliOnOffDeath, StrictArgsRejectsMalformed)
+{
+    Argv a({"--strict-args", "--por", "maybe"});
+    EXPECT_EXIT(cli::onOffArg(a.argc(), a.argv(), "--por", true),
+                ::testing::ExitedWithCode(2), "--por expects on\\|off");
+}

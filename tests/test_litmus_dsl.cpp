@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the litmus DSL: parsing, validation errors, and the
+ * per-mode lowering contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/corpus.hh"
+#include "litmus/litmus.hh"
+
+using namespace bbb::litmus;
+
+// gtest also defines a class named Test.
+using LitTest = bbb::litmus::Test;
+
+namespace
+{
+
+LitTest
+parseOk(const std::string &text)
+{
+    LitTest t;
+    std::string err;
+    EXPECT_TRUE(parseTest(text, &t, &err)) << err;
+    return t;
+}
+
+std::string
+parseErr(const std::string &text)
+{
+    LitTest t;
+    std::string err;
+    EXPECT_FALSE(parseTest(text, &t, &err));
+    return err;
+}
+
+} // namespace
+
+TEST(LitmusDsl, ParsesTheClassicSbShape)
+{
+    LitTest t = parseOk("test sb\n"
+                     "smoke\n"
+                     "t0: st x 1; ld y r0\n"
+                     "t1: st y 1; ld x r1\n"
+                     "sometimes final r0=0 r1=0\n"
+                     "sometimes [pmem_strict] crash x=1 y=1\n");
+    EXPECT_EQ(t.name, "sb");
+    EXPECT_TRUE(t.smoke);
+    EXPECT_FALSE(t.battery);
+    ASSERT_EQ(t.threads.size(), 2u);
+    ASSERT_EQ(t.threads[0].size(), 2u);
+    EXPECT_EQ(t.threads[0][0].kind, SrcKind::Store);
+    EXPECT_EQ(t.threads[0][0].val, 1u);
+    EXPECT_EQ(t.threads[0][1].kind, SrcKind::Load);
+    ASSERT_EQ(t.vars.size(), 2u);
+    EXPECT_EQ(t.vars[0], "x");
+    EXPECT_EQ(t.vars[1], "y");
+    ASSERT_EQ(t.regs.size(), 2u);
+    // Default mode set: the strict trio plus the strict-on-PMEM
+    // lowering; plain pmem only by explicit `modes`.
+    EXPECT_EQ(t.modes.size(), 4u);
+    EXPECT_TRUE(t.runsIn(Mode::Bbb));
+    EXPECT_TRUE(t.runsIn(Mode::PmemStrict));
+    EXPECT_FALSE(t.runsIn(Mode::Pmem));
+    ASSERT_EQ(t.witnesses.size(), 2u);
+    EXPECT_FALSE(t.witnesses[0].on_crash);
+    EXPECT_TRUE(t.witnesses[1].on_crash);
+    ASSERT_EQ(t.witnesses[1].modes.size(), 1u);
+    EXPECT_EQ(t.witnesses[1].modes[0], Mode::PmemStrict);
+}
+
+TEST(LitmusDsl, CommentsAndBlankLinesIgnored)
+{
+    LitTest t = parseOk("test c\n"
+                     "# a comment\n"
+                     "\n"
+                     "t0: st x 1  # trailing comment\n");
+    ASSERT_EQ(t.threads.size(), 1u);
+    EXPECT_EQ(t.threads[0].size(), 1u);
+}
+
+TEST(LitmusDsl, RejectsMalformedInput)
+{
+    EXPECT_NE(parseErr("t0: st x 1\n").find("test NAME"),
+              std::string::npos);
+    EXPECT_NE(parseErr("test t\nt0: frob x\n").find("unknown op"),
+              std::string::npos);
+    EXPECT_NE(parseErr("test t\nmodes warp\nt0: st x 1\n")
+                  .find("unknown mode"),
+              std::string::npos);
+    // Too many ops on one thread.
+    std::string big = "test t\nt0: st x 1";
+    for (int i = 0; i < 8; ++i)
+        big += "; st x 1";
+    big += "\n";
+    EXPECT_FALSE(parseErr(big).empty());
+}
+
+TEST(LitmusDsl, BatteryValidation)
+{
+    // Double store to one variable breaks the prefix-cut oracle.
+    EXPECT_NE(parseErr("test t\nbattery\nmodes bbb\n"
+                       "t0: st x 1; st x 2\n")
+                  .find("once"),
+              std::string::npos);
+    // Non-bbPB modes have no ordered crash drain to sweep.
+    EXPECT_NE(parseErr("test t\nbattery\nmodes eadr\nt0: st x 1\n")
+                  .find("bbb/procside"),
+              std::string::npos);
+    LitTest t = parseOk("test t\nbattery\nmodes bbb procside\n"
+                     "t0: st x 1; st y 2\n");
+    EXPECT_TRUE(t.battery);
+}
+
+TEST(LitmusDsl, LoweringPerMode)
+{
+    LitTest t = parseOk("test t\nmodes bbb pmem pmem_strict\n"
+                     "t0: st x 1; flush x; sfence; mfence; ld x r0\n");
+
+    // Strict machine: persist instructions vanish, mfence survives.
+    Program bbb_prog = lower(t, Mode::Bbb);
+    ASSERT_EQ(bbb_prog.threads[0].size(), 3u);
+    EXPECT_EQ(bbb_prog.threads[0][0].kind, MKind::Store);
+    EXPECT_EQ(bbb_prog.threads[0][1].kind, MKind::Fence);
+    EXPECT_EQ(bbb_prog.threads[0][2].kind, MKind::Load);
+
+    // Px86 machine: the program's own flush/fence are kept as written.
+    Program pmem_prog = lower(t, Mode::Pmem);
+    ASSERT_EQ(pmem_prog.threads[0].size(), 5u);
+    EXPECT_EQ(pmem_prog.threads[0][1].kind, MKind::Flush);
+    EXPECT_EQ(pmem_prog.threads[0][2].kind, MKind::Fence);
+
+    // Strict-on-PMEM: every store expands to st;flush;sfence, and the
+    // programmer's own persist ops are still kept.
+    Program strict_prog = lower(t, Mode::PmemStrict);
+    ASSERT_EQ(strict_prog.threads[0].size(), 7u);
+    EXPECT_EQ(strict_prog.threads[0][0].kind, MKind::Store);
+    EXPECT_EQ(strict_prog.threads[0][1].kind, MKind::Flush);
+    EXPECT_EQ(strict_prog.threads[0][1].var, strict_prog.threads[0][0].var);
+    EXPECT_EQ(strict_prog.threads[0][2].kind, MKind::Fence);
+}
+
+TEST(LitmusDsl, FlushOptLowersLikeFlush)
+{
+    LitTest t = parseOk("test t\nmodes pmem\nt0: st x 1; flushopt x\n");
+    Program p = lower(t, Mode::Pmem);
+    ASSERT_EQ(p.threads[0].size(), 2u);
+    EXPECT_EQ(p.threads[0][1].kind, MKind::Flush);
+}
+
+TEST(LitmusDsl, CorpusParsesAndIsBigEnough)
+{
+    const std::vector<LitTest> &all = corpus();
+    EXPECT_GE(all.size(), 25u);
+    // The smoke subset must cover each seeded-mutation detector: a
+    // same-variable multi-store test (drain order), a battery test
+    // (crash-drain order), and a pmem/pmem_strict test (flush drop).
+    std::vector<LitTest> smoke = smokeCorpus();
+    EXPECT_GE(smoke.size(), 5u);
+    bool multi_store = false, battery = false, px86 = false;
+    for (const LitTest &t : smoke) {
+        if (t.battery)
+            battery = true;
+        if (t.runsIn(Mode::Pmem) || t.runsIn(Mode::PmemStrict))
+            px86 = true;
+        std::vector<unsigned> stores(t.vars.size(), 0);
+        for (const auto &th : t.threads) {
+            for (const SrcOp &op : th) {
+                if (op.kind == SrcKind::Store &&
+                    ++stores[unsigned(op.var)] > 1)
+                    multi_store = true;
+            }
+        }
+    }
+    EXPECT_TRUE(multi_store);
+    EXPECT_TRUE(battery);
+    EXPECT_TRUE(px86);
+    EXPECT_NE(findTest("sb"), nullptr);
+    EXPECT_EQ(findTest("no-such-test"), nullptr);
+}
