@@ -19,6 +19,11 @@ main(int argc, char **argv)
 {
     const unsigned sizes[] = {1, 4, 16, 32, 64, 256, 1024};
 
+    // Analytic bench; same CLI conventions as the sim benches (see
+    // bench_table9_battery_size.cpp).
+    unsigned jobs = bbbench::jobsArg(argc, argv);
+    unsigned shards = bbbench::shardsArg(argc, argv);
+
     BenchReport rep("table10_battery_sweep");
     {
         const double paper_sc_mobile[] = {0.12, 0.50, 2.02, 4.1,
@@ -64,6 +69,8 @@ main(int argc, char **argv)
                 "1.3;  server 0.006 0.026 0.10 0.21 0.43 1.7 6.8\n"
                 "Even a 1024-entry bbPB stays 22-49x cheaper than eADR "
                 "(Table IX).\n");
+    rep.noteRun(0.0, jobs);
+    rep.noteShards(shards);
     rep.emitIfRequested(bbbench::jsonPathArg(argc, argv));
     return 0;
 }

@@ -1,79 +1,249 @@
 /**
  * @file
- * Example: battery provisioning planner.
+ * Example: battery provisioning planner under real power traces.
  *
- * Give it a platform description (cores, cache sizes, memory channels)
- * and a bbPB size; it prints the full flush-on-fail provisioning table:
- * worst-case drain energy, drain time, and battery volume/footprint for
- * both technologies, for eADR and for BBB — the Section IV-C methodology
- * as a reusable tool.
+ * The Section IV-C closed-form provisioning (worst-case drain energy →
+ * battery volume) answers "how big could the battery ever need to be?".
+ * This planner answers the operational question: *how small can it be*
+ * before a given workload, persistency mode, and power environment stop
+ * surviving outages cleanly?
  *
- * Run: battery_planner [cores] [l1_kb_per_core] [l2_mb_total] \
- *                      [l3_mb_total] [channels] [bbpb_entries]
- * Defaults reproduce the paper's mobile-class platform with 32 entries.
+ * It sweeps power-trace lifetime campaigns (src/recover/lifetime.hh)
+ * over traces x battery capacities x degradation policies x workloads x
+ * BBB modes. Every outage in a trace becomes a crash round whose drain
+ * budget is the charge the battery actually held; a lifetime is *viable*
+ * when every round recovered clean with zero sacrificed blocks and the
+ * trace never starved the machine of charge. The headline table is the
+ * minimum viable capacity per (workload, mode, trace, policy) cell —
+ * i.e. what a provisioning engineer would buy.
+ *
+ * Usage:
+ *   battery_planner [--traces T[,T...]] [--battery-caps J[,J...]]
+ *                   [--policies P[,P...]] [--workloads W[,W...]]
+ *                   [--modes M[,M...]] [--rounds K] [--lifetimes N]
+ *                   [--ops N] [--campaign-seed N] [--jobs N] [--shards N]
+ *                   [--fast] [--strict-args] [--json PATH]
+ *
+ * Exit status: 0 when no lifetime violates the durability oracle,
+ * 1 otherwise (undersized batteries must degrade, never corrupt).
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "api/cli.hh"
+#include "api/report.hh"
 #include "energy/energy_model.hh"
+#include "recover/lifetime.hh"
 
 using namespace bbb;
+
+namespace
+{
+
+/** Small machine so trace windows land mid-run (same as the campaigns). */
+SystemConfig
+plannerCfg()
+{
+    SystemConfig cfg;
+    cfg.num_cores = 2;
+    cfg.l1d.size_bytes = 4_KiB;
+    cfg.llc.size_bytes = 16_KiB;
+    cfg.dram.size_bytes = 64_MiB;
+    cfg.nvmm.size_bytes = 64_MiB;
+    cfg.bbpb.entries = 8;
+    cfg.l1d.repl = ReplPolicy::Random;
+    cfg.llc.repl = ReplPolicy::Random;
+    return cfg;
+}
+
+/** One sweep cell: every capacity shares the rest of the coordinates. */
+struct CellKey
+{
+    std::string workload;
+    PersistMode mode;
+    std::string trace;
+    DegradePolicy policy;
+
+    bool
+    matches(const LifetimeResult &r) const
+    {
+        return r.workload == workload && r.mode == mode &&
+               r.plan.trace == trace && r.plan.policy == policy;
+    }
+};
+
+/** A capacity is viable when every lifetime at it survived cleanly. */
+bool
+capViable(const std::vector<LifetimeResult> &results, const CellKey &key,
+          double cap)
+{
+    bool any = false;
+    for (const LifetimeResult &r : results) {
+        if (!key.matches(r) || r.plan.battery_cap_j != cap)
+            continue;
+        any = true;
+        if (r.outcome != LifetimeOutcome::Clean || r.power.starved)
+            return false;
+        for (const LifetimeRound &round : r.round_log) {
+            if (round.report.sacrificed_blocks != 0)
+                return false;
+        }
+    }
+    return any;
+}
+
+/** Report-friendly metric path segment for one cell. */
+std::string
+cellPath(const CellKey &key)
+{
+    // Trace tokens may carry ':' parameters; metric paths split on '.'
+    // only, so the token passes through unchanged.
+    return key.workload + "." + std::string(persistModeName(key.mode)) +
+           "." + key.trace + "." + degradePolicyName(key.policy);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    PlatformSpec p = mobilePlatform();
-    unsigned entries = 32;
-    if (argc > 1)
-        p.cores = static_cast<unsigned>(std::atoi(argv[1]));
-    if (argc > 2)
-        p.l1_total_bytes = p.cores * std::strtoull(argv[2], nullptr, 10) *
-                           1024ull;
-    if (argc > 3)
-        p.l2_total_bytes = std::strtoull(argv[3], nullptr, 10) * 1024ull *
-                           1024ull;
-    if (argc > 4)
-        p.l3_total_bytes = std::strtoull(argv[4], nullptr, 10) * 1024ull *
-                           1024ull;
-    if (argc > 5)
-        p.mem_channels = static_cast<unsigned>(std::atoi(argv[5]));
-    if (argc > 6)
-        entries = static_cast<unsigned>(std::atoi(argv[6]));
-    p.name = "custom";
+    const bool fast = cli::fastMode(argc, argv);
 
-    DrainCostModel model(p);
-
-    std::printf("Platform: %u cores, L1 total %.0f kB, L2 %.1f MB, "
-                "L3 %.1f MB, %u channels\n",
-                p.cores, p.l1_total_bytes / 1024.0,
-                p.l2_total_bytes / 1048576.0, p.l3_total_bytes / 1048576.0,
-                p.mem_channels);
-    std::printf("bbPB: %u entries/core = %.1f kB in the persistence "
-                "domain\n\n",
-                entries, model.bbbBytes(entries) / 1024.0);
-
-    std::printf("%-24s %16s %16s\n", "", "eADR", "BBB");
-    std::printf("%-24s %13.3f mJ %13.3f mJ\n", "avg drain energy",
-                model.eadrDrainEnergyJ() * 1e3,
-                model.bbbDrainEnergyJ(entries) * 1e3);
-    std::printf("%-24s %13.3f us %13.3f us\n", "avg drain time",
-                model.eadrDrainTimeS() * 1e6,
-                model.bbbDrainTimeS(entries) * 1e6);
-    for (BatteryTech t : {BatteryTech::SuperCap, BatteryTech::LiThin}) {
-        double ve = model.eadrBatteryVolumeMm3(t);
-        double vb = model.bbbBatteryVolumeMm3(t, entries);
-        std::printf("%-10s %-12s %11.3f mm3 %11.3f mm3\n", "battery",
-                    batteryTechName(t), ve, vb);
-        std::printf("%-10s %-12s %12.1f %%core %10.1f %%core\n",
-                    "footprint", batteryTechName(t),
-                    model.areaRatioToCore(ve) * 100.0,
-                    model.areaRatioToCore(vb) * 100.0);
+    LifetimeSpec spec;
+    spec.base = plannerCfg();
+    spec.workloads =
+        cli::splitList(cli::stringOpt(argc, argv, "--workloads",
+                                      fast ? "hashmap"
+                                           : "hashmap,linkedlist"));
+    spec.modes = {PersistMode::BbbMemSide, PersistMode::BbbProcSide};
+    std::string modes_arg = cli::stringOpt(argc, argv, "--modes");
+    if (!modes_arg.empty()) {
+        spec.modes.clear();
+        for (const std::string &m : cli::splitList(modes_arg))
+            spec.modes.push_back(persistModeFromName(m));
     }
-    std::printf("\nBBB battery advantage: %.0fx energy, %.0fx volume.\n",
-                model.eadrDrainEnergyJ() / model.bbbDrainEnergyJ(entries),
-                model.eadrBatteryVolumeMm3(BatteryTech::LiThin) /
-                    model.bbbBatteryVolumeMm3(BatteryTech::LiThin,
-                                              entries));
+    // Trace tokens never contain ',' (PowerTrace enforces it), so the
+    // standard comma list composes cleanly with parameterized presets.
+    spec.traces = cli::splitList(
+        cli::stringOpt(argc, argv, "--traces",
+                       fast ? "brownout:cycles=2,square:cycles=2"
+                            : "brownout,square,outages"));
+    spec.battery_caps = cli::realListArg(
+        argc, argv, "--battery-caps",
+        fast ? std::vector<double>{2e-6, 50e-6}
+             : std::vector<double>{1e-6, 5e-6, 20e-6, 50e-6});
+    spec.policies = {DegradePolicy::None, DegradePolicy::DrainOldest};
+    std::string pols_arg = cli::stringOpt(argc, argv, "--policies");
+    if (!pols_arg.empty()) {
+        spec.policies.clear();
+        for (const std::string &p : cli::splitList(pols_arg))
+            spec.policies.push_back(parseDegradePolicy(p));
+    }
+    spec.rounds = static_cast<unsigned>(std::strtoul(
+        cli::stringOpt(argc, argv, "--rounds", fast ? "2" : "3").c_str(),
+        nullptr, 10));
+    spec.lifetimes = static_cast<unsigned>(std::strtoul(
+        cli::stringOpt(argc, argv, "--lifetimes", "1").c_str(), nullptr,
+        10));
+    spec.params.ops_per_thread = std::strtoull(
+        cli::stringOpt(argc, argv, "--ops", fast ? "250" : "400").c_str(),
+        nullptr, 10);
+    spec.params.initial_elements = 80;
+    spec.campaign_seed = std::strtoull(
+        cli::stringOpt(argc, argv, "--campaign-seed", "1").c_str(),
+        nullptr, 10);
+    unsigned jobs = cli::jobsArg(argc, argv);
+    spec.base.shards = cli::shardsArg(argc, argv, spec.base.num_cores);
+
+    // Condensed Section IV-C analytic header: the closed-form worst case
+    // the trace sweep below stress-tests from the other side.
+    {
+        DrainCostModel model(mobilePlatform());
+        const unsigned entries = spec.base.bbpb.entries;
+        std::printf(
+            "analytic worst case (mobile, %u-entry bbPBs): drain %.3f uJ "
+            "in %.3f us; eADR needs %.0fx the energy\n",
+            entries, model.bbbDrainEnergyJ(entries) * 1e6,
+            model.bbbDrainTimeS(entries) * 1e6,
+            model.eadrDrainEnergyJ() / model.bbbDrainEnergyJ(entries));
+    }
+
+    LifetimeSummary summary;
+    double secs =
+        timedSeconds([&] { summary = runLifetimeCampaign(spec, jobs); });
+
+    std::printf("\nplanner campaign: %zu lifetimes in %.2f s — %llu "
+                "clean, %llu degraded-repaired, %llu oracle-violations\n",
+                summary.results.size(), secs,
+                (unsigned long long)summary.clean,
+                (unsigned long long)summary.degraded,
+                (unsigned long long)summary.violations);
+
+    // Min-viable-battery table: smallest swept capacity at which every
+    // lifetime of the cell survives every outage with nothing sacrificed.
+    BenchReport rep("battery_planner");
+    {
+        std::string caps;
+        for (double c : spec.battery_caps)
+            caps += (caps.empty() ? "" : ",") + compactDouble(c);
+        rep.setConfig("battery_caps_j", caps);
+    }
+    rep.setConfig("rounds", std::uint64_t{spec.rounds});
+    rep.setConfig("lifetimes", std::uint64_t{spec.lifetimes});
+    rep.setConfig("ops_per_thread",
+                  std::uint64_t{spec.params.ops_per_thread});
+    rep.setConfig("campaign_seed", std::uint64_t{spec.campaign_seed});
+    rep.setConfig("bbpb_entries", std::uint64_t{spec.base.bbpb.entries});
+
+    std::printf("\n%-12s %-14s %-22s %-13s %s\n", "workload", "mode",
+                "trace", "policy", "min viable battery");
+    std::uint64_t unviable_cells = 0;
+    for (const std::string &w : spec.workloads) {
+        for (PersistMode mode : spec.modes) {
+            for (const std::string &trace : spec.traces) {
+                for (DegradePolicy pol : spec.policies) {
+                    CellKey key{w, mode, trace, pol};
+                    double viable = -1.0;
+                    for (double cap : spec.battery_caps) {
+                        if (capViable(summary.results, key, cap)) {
+                            viable = cap;
+                            break;
+                        }
+                    }
+                    if (viable >= 0.0) {
+                        std::printf("%-12s %-14s %-22s %-13s %9.2f uJ\n",
+                                    w.c_str(), persistModeName(mode),
+                                    trace.c_str(),
+                                    degradePolicyName(pol),
+                                    viable * 1e6);
+                        rep.measured().setReal(
+                            "min_viable." + cellPath(key) + ".cap_j",
+                            viable);
+                    } else {
+                        std::printf("%-12s %-14s %-22s %-13s %12s\n",
+                                    w.c_str(), persistModeName(mode),
+                                    trace.c_str(),
+                                    degradePolicyName(pol),
+                                    "> sweep max");
+                        ++unviable_cells;
+                    }
+                }
+            }
+        }
+    }
+    rep.measured().setCount("min_viable.unviable_cells", unviable_cells);
+    rep.measured().merge(summary.metrics, "");
+    rep.noteRun(secs, jobs);
+    rep.noteShards(spec.base.shards);
+    rep.emitIfRequested(cli::jsonPathArg(argc, argv));
+
+    if (const LifetimeResult *bug = summary.firstViolation()) {
+        std::printf("VIOLATION repro: lifetime_campaign %s\n",
+                    bug->reproLine().c_str());
+        return 1;
+    }
     return 0;
 }

@@ -50,8 +50,11 @@ usage(const char *argv0)
         "          [--plans P[,P...]] [--rounds K] [--lifetimes N]\n"
         "          [--ops N] [--initial N] [--campaign-seed N] [--jobs N]\n"
         "          [--shards N] [--verbose] [--json PATH]\n"
+        "          [--traces T[,T...]] [--battery-caps J[,J...]]\n"
+        "          [--policies P[,P...]]\n"
         "   or: %s --workload NAME --mode M --seed S --rounds K "
-        "--fault-plan P\n",
+        "--fault-plan P\n"
+        "          [--trace T --battery-j J --policy P]\n",
         argv0, argv0);
     std::exit(2);
 }
@@ -113,6 +116,9 @@ main(int argc, char **argv)
     std::uint64_t replay_seed = 0;
     bool replay = false;
     std::string replay_plan = "none";
+    std::string replay_trace;
+    double replay_cap = 50e-6;
+    DegradePolicy replay_policy = DegradePolicy::None;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -161,6 +167,23 @@ main(int argc, char **argv)
             replay = true;
         } else if (arg == "--fault-plan") {
             replay_plan = next();
+        } else if (arg == "--traces") {
+            spec.traces = bbb::cli::splitList(next());
+        } else if (arg == "--battery-caps") {
+            spec.battery_caps.clear();
+            for (const std::string &tok : bbb::cli::splitList(next()))
+                spec.battery_caps.push_back(
+                    std::strtod(tok.c_str(), nullptr));
+        } else if (arg == "--policies") {
+            spec.policies.clear();
+            for (const std::string &tok : bbb::cli::splitList(next()))
+                spec.policies.push_back(parseDegradePolicy(tok));
+        } else if (arg == "--trace") {
+            replay_trace = next();
+        } else if (arg == "--battery-j") {
+            replay_cap = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--policy") {
+            replay_policy = parseDegradePolicy(next());
         } else if (arg == "--strict-args") {
             // This loop is already strict: unknown or value-less flags
             // exit(2) via usage(). Accepted so campaign scripts can pass
@@ -185,6 +208,17 @@ main(int argc, char **argv)
         sample.params = spec.params;
         sample.plan = FaultPlan::parse(replay_plan);
         sample.plan_name = replay_plan;
+        if (!replay_trace.empty()) {
+            // Power-trace replay: overlay the power environment on the
+            // (power-field-free) --fault-plan rest, exactly inverting
+            // LifetimeResult::reproLine.
+            sample.plan.trace = replay_trace;
+            sample.plan.battery_cap_j = replay_cap;
+            sample.plan.policy = replay_policy;
+            sample.plan_name = replay_trace + "+" +
+                               compactDouble(replay_cap) + "J+" +
+                               degradePolicyName(replay_policy);
+        }
         sample.seed = replay_seed;
         sample.rounds = spec.rounds;
         sample.min_crash_tick = spec.min_crash_tick;
@@ -211,7 +245,24 @@ main(int argc, char **argv)
                         (unsigned long long)rr.image_fingerprint,
                         rr.oracle_ok ? "" : "  ORACLE: ",
                         rr.detail.c_str());
+            if (rr.power_round)
+                std::printf("         budget %.3e J%s%s  proactive %llu\n",
+                            rr.charge_at_outage,
+                            rr.brownout_outage ? "  brownout-outage" : "",
+                            rr.had_warning ? "  warned" : "",
+                            (unsigned long long)rr.proactive_blocks);
         }
+        if (r.powered)
+            std::printf(
+                "power    outages %llu (brownout %llu) survived %llu "
+                "warnings %llu resume-waits %llu%s  min-headroom %.3e J\n",
+                (unsigned long long)r.power.outages,
+                (unsigned long long)r.power.brownout_outages,
+                (unsigned long long)r.power.brownouts_survived,
+                (unsigned long long)r.power.warnings,
+                (unsigned long long)r.power.resume_waits,
+                r.power.starved ? "  STARVED" : "",
+                r.power.min_headroom_j);
         return r.outcome == LifetimeOutcome::OracleViolation ? 1 : 0;
     }
 
@@ -250,6 +301,23 @@ main(int argc, char **argv)
                       std::uint64_t{spec.params.initial_elements});
         rep.setConfig("campaign_seed", std::uint64_t{spec.campaign_seed});
         rep.setConfig("bbpb_entries", std::uint64_t{spec.base.bbpb.entries});
+        if (!spec.traces.empty()) {
+            std::string traces, caps, pols;
+            for (const std::string &t : spec.traces)
+                traces += (traces.empty() ? "" : ",") + t;
+            for (double c : spec.battery_caps)
+                caps += (caps.empty() ? "" : ",") + compactDouble(c);
+            for (DegradePolicy p : spec.policies) {
+                if (!pols.empty())
+                    pols += ",";
+                pols += degradePolicyName(p);
+            }
+            rep.setConfig("traces", traces);
+            if (!caps.empty())
+                rep.setConfig("battery_caps_j", caps);
+            if (!pols.empty())
+                rep.setConfig("policies", pols);
+        }
         rep.measured().merge(summary.metrics, "");
         rep.noteRun(secs, jobs);
         rep.noteShards(spec.base.shards);

@@ -201,6 +201,41 @@ uintListArg(int argc, char **argv, const char *flag,
 }
 
 /**
+ * Comma-separated list of non-negative reals: `@p flag 2e-6,5e-6,...`,
+ * or @p def when absent. Malformed or negative entries warn and return
+ * @p def — or, under `--strict-args`, exit with status 2.
+ */
+inline std::vector<double>
+realListArg(int argc, char **argv, const char *flag,
+            const std::vector<double> &def)
+{
+    std::string value = stringOpt(argc, argv, flag);
+    if (value.empty())
+        return def;
+    std::vector<double> out;
+    for (const std::string &tok : splitList(value)) {
+        char *end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0' || v < 0.0) {
+            if (strictArgs(argc, argv)) {
+                std::fprintf(stderr,
+                             "error: %s expects non-negative reals, "
+                             "got '%s'\n",
+                             flag, tok.c_str());
+                std::exit(2);
+            }
+            std::fprintf(stderr,
+                         "warning: %s expects non-negative reals, got "
+                         "'%s'; using the default\n",
+                         flag, tok.c_str());
+            return def;
+        }
+        out.push_back(v);
+    }
+    return out.empty() ? def : out;
+}
+
+/**
  * Boolean switch with an explicit value: `@p flag on|off` (also
  * accepts 1/0/true/false), or @p def when absent. Anything else warns
  * and keeps @p def — or, under `--strict-args`, exits with status 2.

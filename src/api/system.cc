@@ -252,8 +252,10 @@ System::run(Tick max_tick)
     for (auto &core : _cores)
         core->start();
 
-    if (_cfg.check_invariants)
+    if (_cfg.check_invariants && !_invariants_scheduled) {
+        _invariants_scheduled = true;
         scheduleInvariantCheck();
+    }
 
     // Run until every thread finishes, then let trailing buffer drains
     // settle so write counts are complete.
@@ -271,19 +273,42 @@ System::run(Tick max_tick)
     return finish;
 }
 
-CrashReport
-System::runAndCrashAt(Tick crash_tick)
+void
+System::runUntil(Tick until)
 {
     double t0 = hostNow();
+    // start() is idempotent on cores and shard workers, so repeated
+    // runUntil() calls resume where the previous one stopped — only the
+    // invariant-check event must not be scheduled twice.
     if (_shard_rt)
         _shard_rt->start();
     for (auto &core : _cores)
         core->start();
-    if (_cfg.check_invariants)
+    if (_cfg.check_invariants && !_invariants_scheduled) {
+        _invariants_scheduled = true;
         scheduleInvariantCheck();
-    _eq.run(crash_tick);
+    }
+    _eq.run(until);
     _host_seconds += hostNow() - t0;
+}
+
+CrashReport
+System::runAndCrashAt(Tick crash_tick)
+{
+    runUntil(crash_tick);
     return crashNow();
+}
+
+std::uint64_t
+System::proactiveDrain(std::uint64_t max_blocks)
+{
+    return _crash->proactiveDrain(max_blocks);
+}
+
+void
+System::setLowPower(bool on)
+{
+    _backend->setLowPower(on);
 }
 
 CrashReport

@@ -128,6 +128,15 @@ class System
     void startGated();
 
     /**
+     * Run (or resume) the machine until tick @p until without crashing.
+     * Core and shard starts are idempotent, so repeated calls advance
+     * the same execution — power-trace campaigns use this to stop at the
+     * low-charge warning, apply a degradation policy, and continue to
+     * the outage.
+     */
+    void runUntil(Tick until);
+
+    /**
      * Run until @p crash_tick, then fail power: halts the cores, applies
      * the mode's flush-on-fail drain, and returns the cost report. The
      * post-crash image is available through image()/pmemImage().
@@ -136,6 +145,20 @@ class System
 
     /** Crash immediately at the current tick (after a run()). */
     CrashReport crashNow();
+
+    /**
+     * Low-battery graceful degradation: proactively drain up to
+     * @p max_blocks oldest persist-buffer entries through the powered
+     * write path (no-op for bufferless modes). Returns blocks drained.
+     */
+    std::uint64_t proactiveDrain(std::uint64_t max_blocks = ~0ull);
+
+    /**
+     * Low-power admission control: while set, the persistency backend
+     * refuses new dirty blocks (coalescing only) — the refuse-dirty
+     * degradation policy.
+     */
+    void setLowPower(bool on);
 
     // --- results ----------------------------------------------------------
     /** Last thread's finish tick from the most recent run(). */
@@ -230,6 +253,7 @@ class System
     Tick _exec_time = 0;
     double _host_seconds = 0.0;
     bool _crashed = false;
+    bool _invariants_scheduled = false;
 };
 
 } // namespace bbb

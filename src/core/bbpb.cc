@@ -23,6 +23,8 @@ BbpbStats::registerWith(StatGroup &g)
                  "drain attempts deferred by a full WPQ");
     g.addCounter("crash_drained", &crash_drained,
                  "entries drained at crash time");
+    g.addCounter("proactive_drains", &proactive_drains,
+                 "entries drained proactively on low battery");
     g.addHistogram("occupancy", &occupancy, "occupancy seen at allocation");
     g.addHistogram("residency_ns", &residency_ns,
                    "entry lifetime from allocation to drain");
@@ -119,6 +121,8 @@ MemSideBbpb::canAcceptPersist(CoreId c, Addr block)
     const OwnershipIndex::Ref *ref = _index.find(blockAlign(block));
     if (ref && ref->core == c)
         return true; // coalesce
+    if (_low_power)
+        return false; // refuse-dirty: no new blocks while charge is low
     return buffer(c).count < _cfg.bbpb.entries;
 }
 
@@ -326,6 +330,44 @@ MemSideBbpb::drainVictim(const CoreBuffer &buf)
     panic("unknown drain policy");
 }
 
+std::uint64_t
+MemSideBbpb::forceDrainOldest(std::uint64_t max_blocks)
+{
+    // Low-battery backup: push the globally oldest entries (by
+    // allocation seq across cores) through the *powered* write path —
+    // the WPQ coalesces same-block writes, so a proactively drained
+    // value can never be overtaken by an older pending write. Stop when
+    // the WPQ fills rather than escalating: this is a best-effort
+    // background action, not a correctness-critical eviction.
+    std::uint64_t drained = 0;
+    while (drained < max_blocks) {
+        CoreId best_c = kNoCore;
+        std::uint64_t best_seq = ~0ull;
+        for (CoreId c = 0; c < static_cast<CoreId>(_bufs.size()); ++c) {
+            if (_bufs[c].head == kNil)
+                continue;
+            const Slot &sl = _bufs[c].slots[_bufs[c].head];
+            if (sl.seq < best_seq) {
+                best_seq = sl.seq;
+                best_c = c;
+            }
+        }
+        if (best_c == kNoCore)
+            break; // all buffers empty
+        CoreBuffer &buf = _bufs[best_c];
+        std::uint32_t s = buf.head;
+        const Slot &sl = buf.slots[s];
+        if (!_nvmm.enqueueWrite(sl.block, sl.data))
+            break; // WPQ full
+        _stats.residency_ns.sample(static_cast<std::uint64_t>(
+            ticksToNs(_eq.now() - sl.alloc_tick)));
+        removeSlot(best_c, buf, s);
+        ++_stats.proactive_drains;
+        ++drained;
+    }
+    return drained;
+}
+
 void
 MemSideBbpb::crashDrain(const PersistSink &sink)
 {
@@ -439,6 +481,8 @@ ProcSideBbpb::canAcceptPersist(CoreId c, Addr block)
         !recordAt(buf, buf.count - 1).coalesced_once) {
         return true;
     }
+    if (_low_power)
+        return false; // refuse-dirty: no new records while charge is low
     return buf.count < _cfg.bbpb.entries;
 }
 
@@ -620,6 +664,34 @@ ProcSideBbpb::drainStep(CoreId c)
     } else {
         buf.drain_active = false;
     }
+}
+
+std::uint64_t
+ProcSideBbpb::forceDrainOldest(std::uint64_t max_blocks)
+{
+    // Ordered records only ever leave from the front, so the proactive
+    // drain round-robins the per-core fronts: per-core persist order is
+    // preserved exactly, and cores shed their oldest records fairly.
+    std::uint64_t drained = 0;
+    bool progress = true;
+    while (drained < max_blocks && progress) {
+        progress = false;
+        for (CoreId c = 0;
+             c < static_cast<CoreId>(_bufs.size()) && drained < max_blocks;
+             ++c) {
+            CoreBuffer &buf = _bufs[c];
+            if (buf.count == 0)
+                continue;
+            const Record &r = buf.ring[buf.head];
+            if (!_nvmm.enqueueWrite(r.block, r.data))
+                return drained; // WPQ full
+            popFront(buf);
+            ++_stats.proactive_drains;
+            ++drained;
+            progress = true;
+        }
+    }
+    return drained;
 }
 
 void

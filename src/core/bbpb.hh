@@ -55,6 +55,7 @@ struct BbpbStats
     StatCounter migrations;     ///< entries dropped: block moved cores
     StatCounter wpq_retries;    ///< drain attempts stalled by a full WPQ
     StatCounter crash_drained;  ///< entries drained at crash time
+    StatCounter proactive_drains; ///< entries drained on low battery
     StatHistogram occupancy{33, 1};
     /** Entry lifetime from allocation to drain, in nanoseconds: how long
      *  a value enjoys coalescing before it costs an NVMM write. */
@@ -85,6 +86,8 @@ class MemSideBbpb : public PersistencyBackend
         const std::function<void(CoreId, Addr)> &fn) const override;
     std::size_t occupancy() const override;
     void crashDrain(const PersistSink &sink) override;
+    std::uint64_t forceDrainOldest(std::uint64_t max_blocks) override;
+    void setLowPower(bool on) override { _low_power = on; }
 
     /** Occupancy of one core's buffer. */
     std::size_t coreOccupancy(CoreId c) const;
@@ -151,6 +154,7 @@ class MemSideBbpb : public PersistencyBackend
     std::uint64_t _next_seq = 0;
     unsigned _threshold;
     Rng _drain_rng;
+    bool _low_power = false;
     BbpbStats _stats;
 };
 
@@ -175,6 +179,8 @@ class ProcSideBbpb : public PersistencyBackend
         const std::function<void(CoreId, Addr)> &fn) const override;
     std::size_t occupancy() const override;
     void crashDrain(const PersistSink &sink) override;
+    std::uint64_t forceDrainOldest(std::uint64_t max_blocks) override;
+    void setLowPower(bool on) override { _low_power = on; }
 
     std::size_t coreOccupancy(CoreId c) const;
 
@@ -228,6 +234,7 @@ class ProcSideBbpb : public PersistencyBackend
     std::vector<CoreBuffer> _bufs;
     OwnershipIndex _index;
     unsigned _threshold;
+    bool _low_power = false;
     BbpbStats _stats;
 };
 

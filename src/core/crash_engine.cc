@@ -30,6 +30,10 @@ CrashStats::registerWith(StatGroup &g)
                  "crashes whose battery ran out mid-drain");
     g.addCounter("prefix_violations", &prefix_violations,
                  "crashes violating the oldest-first prefix oracle");
+    g.addCounter("proactive_drains", &proactive_drains,
+                 "low-battery proactive backup invocations");
+    g.addCounter("proactive_drain_blocks", &proactive_drain_blocks,
+                 "blocks drained by low-battery backups");
     g.addAverage("drain_energy_j", &drain_energy_j,
                  "drain energy per crash (J, Table VI model)");
     g.addAverage("drain_time_s", &drain_time_s,
@@ -59,6 +63,15 @@ CrashStats::note(const CrashReport &rep)
     drain_energy_j.sample(rep.drain_energy_j);
     drain_time_s.sample(rep.drain_time_s);
     battery_spent_j.sample(rep.battery_spent_j);
+}
+
+std::uint64_t
+CrashEngine::proactiveDrain(std::uint64_t max_blocks)
+{
+    std::uint64_t drained = _backend.forceDrainOldest(max_blocks);
+    ++_stats.proactive_drains;
+    _stats.proactive_drain_blocks += drained;
+    return drained;
 }
 
 PlatformSpec

@@ -118,6 +118,8 @@ struct CrashStats
     StatCounter recrashes;
     StatCounter battery_exhausted;
     StatCounter prefix_violations;
+    StatCounter proactive_drains;       ///< low-battery backup invocations
+    StatCounter proactive_drain_blocks; ///< blocks those backups drained
     StatAverage drain_energy_j;
     StatAverage drain_time_s;
     StatAverage battery_spent_j;
@@ -146,6 +148,13 @@ class CrashEngine
      * the backing store, and report the cost.
      */
     CrashReport crash(Tick now);
+
+    /**
+     * Low-battery graceful degradation: drain up to @p max_blocks of the
+     * oldest buffered entries through the powered path (see
+     * PersistencyBackend::forceDrainOldest). Returns blocks drained.
+     */
+    std::uint64_t proactiveDrain(std::uint64_t max_blocks);
 
     /** Inject faults into the drain (nullptr = infallible drain). */
     void setFaultInjector(FaultInjector *faults) { _faults = faults; }

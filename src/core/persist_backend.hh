@@ -114,6 +114,26 @@ class PersistencyBackend
      */
     virtual void crashDrain(const PersistSink &sink) = 0;
 
+    /**
+     * Graceful degradation (low battery): persistently drain up to
+     * @p max_blocks of the *oldest* buffered entries through the normal
+     * powered write path, preserving persist order. Returns how many
+     * drained. Backends without buffers drain nothing.
+     */
+    virtual std::uint64_t forceDrainOldest(std::uint64_t max_blocks)
+    {
+        (void)max_blocks;
+        return 0;
+    }
+
+    /**
+     * Low-power admission control (refuse-dirty policy): while set, the
+     * backend only accepts persisting stores that coalesce into blocks
+     * it already holds — no new dirty blocks enter the persistence
+     * buffers. Default no-op for bufferless backends.
+     */
+    virtual void setLowPower(bool on) { (void)on; }
+
     /** Convenience crashDrain() that materialises the records (tests). */
     std::vector<PersistRecord>
     crashDrainRecords()

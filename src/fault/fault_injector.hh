@@ -103,13 +103,30 @@ class FaultInjector
     explicit FaultInjector(const FaultPlan &plan,
                            FaultStats *stats = nullptr)
         : _plan(plan), _rng(plan.fault_seed ^ 0xfa017ull),
-          _battery(plan.battery_j), _stats(stats ? stats : &_own_stats)
+          _battery(budgetFromPlan(plan)), _stats(stats ? stats : &_own_stats)
     {
     }
+
+    /**
+     * The crash-drain Joule budget a plan provides: the charge stored in
+     * its Battery when one is described (cap_j), else the fixed
+     * battery_j constant. Energy-as-state means stored_j passes through
+     * bit-exactly, so Battery-derived budgets equal the constants they
+     * replace.
+     */
+    static double budgetFromPlan(const FaultPlan &plan);
 
     const FaultPlan &plan() const { return _plan; }
     BatteryBudget &battery() { return _battery; }
     const BatteryBudget &battery() const { return _battery; }
+
+    /**
+     * Replace the crash-drain budget with the charge actually stored at
+     * the failure. The budget is only consulted at crash time, so
+     * power-trace campaigns may refine it any time before crashNow()
+     * without disturbing the armed media-fault stream or ledger.
+     */
+    void setBatteryBudgetJ(double j) { _battery = BatteryBudget(j); }
 
     /**
      * Perform one media write of @p data to @p block in @p store,

@@ -9,10 +9,6 @@
 namespace bbb
 {
 
-namespace
-{
-
-/** Print a double with enough digits to round-trip through strtod. */
 std::string
 compactDouble(double v)
 {
@@ -28,12 +24,45 @@ compactDouble(double v)
     return buf;
 }
 
-} // namespace
+const char *
+degradePolicyName(DegradePolicy p)
+{
+    switch (p) {
+      case DegradePolicy::None:
+        return "none";
+      case DegradePolicy::DrainOldest:
+        return "drain-oldest";
+      case DegradePolicy::Throttle:
+        return "throttle";
+      case DegradePolicy::RefuseDirty:
+        return "refuse-dirty";
+    }
+    return "none";
+}
+
+DegradePolicy
+parseDegradePolicy(const std::string &name)
+{
+    for (DegradePolicy p : degradePolicyList()) {
+        if (name == degradePolicyName(p))
+            return p;
+    }
+    fatal("unknown degrade policy '%s' (want none, drain-oldest, "
+          "throttle, or refuse-dirty)",
+          name.c_str());
+}
+
+std::vector<DegradePolicy>
+degradePolicyList()
+{
+    return {DegradePolicy::None, DegradePolicy::DrainOldest,
+            DegradePolicy::Throttle, DegradePolicy::RefuseDirty};
+}
 
 std::string
 FaultPlan::toString() const
 {
-    if (!enabled())
+    if (!enabled() && trace.empty())
         return "none";
 
     FaultPlan defaults;
@@ -57,6 +86,14 @@ FaultPlan::toString() const
         sep() << "recrash_blocks=" << recrash_after_blocks;
     if (recrash_budget_factor != defaults.recrash_budget_factor)
         sep() << "recrash_factor=" << compactDouble(recrash_budget_factor);
+    if (battery_cap_j >= 0.0)
+        sep() << "cap_j=" << compactDouble(battery_cap_j);
+    if (battery_stored_j >= 0.0)
+        sep() << "stored_j=" << compactDouble(battery_stored_j);
+    if (!trace.empty())
+        sep() << "trace=" << trace;
+    if (policy != defaults.policy)
+        sep() << "policy=" << degradePolicyName(policy);
     if (fault_seed != defaults.fault_seed)
         sep() << "fault_seed=" << fault_seed;
     return os.str();
@@ -83,6 +120,15 @@ FaultPlan::parse(const std::string &token)
         }
         std::string key = pair.substr(0, eq);
         std::string val = pair.substr(eq + 1);
+        // String-valued keys come before the numeric conversion.
+        if (key == "trace") {
+            plan.trace = val;
+            continue;
+        }
+        if (key == "policy") {
+            plan.policy = parseDegradePolicy(val);
+            continue;
+        }
         char *end = nullptr;
         double num = std::strtod(val.c_str(), &end);
         if (end == val.c_str() || *end != '\0')
@@ -104,6 +150,10 @@ FaultPlan::parse(const std::string &token)
             if (num < 0.0 || num > 1.0)
                 fatal("recrash_factor must be in [0, 1]: %s", val.c_str());
             plan.recrash_budget_factor = num;
+        } else if (key == "cap_j") {
+            plan.battery_cap_j = num;
+        } else if (key == "stored_j") {
+            plan.battery_stored_j = num;
         } else if (key == "fault_seed") {
             plan.fault_seed = static_cast<std::uint64_t>(num);
         } else {
@@ -122,7 +172,10 @@ FaultPlan::operator==(const FaultPlan &o) const
            media_retries == o.media_retries &&
            media_backoff == o.media_backoff &&
            recrash_after_blocks == o.recrash_after_blocks &&
-           recrash_budget_factor == o.recrash_budget_factor;
+           recrash_budget_factor == o.recrash_budget_factor &&
+           battery_cap_j == o.battery_cap_j &&
+           battery_stored_j == o.battery_stored_j && trace == o.trace &&
+           policy == o.policy;
 }
 
 std::vector<NamedFaultPlan>

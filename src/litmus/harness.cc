@@ -295,44 +295,66 @@ struct RunContext
         const double item_j =
             double(kBlockSize) * (con.sram_access_j_per_byte +
                                   con.l1_to_nvmm_j_per_byte);
-        for (std::size_t k = 0; k <= order.size(); ++k) {
-            ++res.battery_runs;
-            FaultPlan plan;
-            plan.battery_j = (double(k) + 0.5) * item_j;
-            SimResult sim =
-                runSchedule(test, prog, mode, width, sch, &plan);
-            std::string tag =
-                "battery k=" + std::to_string(k) + ": ";
-            if (!sim.ok) {
-                addViolation(sch, tag + sim.error);
-                continue;
-            }
-            bool should_exhaust = k < order.size();
-            if (sim.crash.battery_exhausted != should_exhaust)
-                addViolation(sch, tag + "battery_exhausted=" +
-                                      (sim.crash.battery_exhausted
-                                           ? "true"
-                                           : "false") +
-                                      ", expected the opposite");
-            std::uint64_t want_lost = order.size() - k;
-            if (sim.crash.sacrificed_blocks != want_lost)
-                addViolation(sch,
-                             tag + "sacrificed " +
-                                 u64(sim.crash.sacrificed_blocks) +
-                                 " blocks, expected " + u64(want_lost));
-            if (!sim.crash.drain_prefix_ok)
-                addViolation(sch, tag + "drain prefix oracle violated");
-            std::array<std::uint64_t, kMaxVars> want{};
-            for (std::size_t i = 0; i < k; ++i)
-                want[order[i].first] = order[i].second;
-            for (unsigned v = 0; v < test.vars.size(); ++v) {
-                if (sim.image[v] != want[v]) {
-                    addViolation(sch, tag + "image " + test.vars[v] +
-                                          "=" + u64(sim.image[v]) +
-                                          ", expected exact prefix "
-                                          "value " +
-                                          u64(want[v]));
-                }
+        for (std::size_t k = 0; k <= order.size(); ++k)
+            for (int charged = 0; charged < 2; ++charged)
+                batteryRun(sch, order, k,
+                           (double(k) + 0.5) * item_j, charged != 0);
+    }
+
+    /**
+     * One undersized-battery run with budget for exactly k items.
+     * @p charged derives the budget from a live Battery charge state
+     * (capacity 2x the stored charge — a power-of-two multiple, so the
+     * stored Joules round-trip bit-exactly) instead of the battery_j
+     * constant; both paths must pin the identical k-item cut.
+     */
+    void
+    batteryRun(const std::vector<Step> &sch,
+               const std::vector<std::pair<int, std::uint64_t>> &order,
+               std::size_t k, double budget_j, bool charged)
+    {
+        ++res.battery_runs;
+        FaultPlan plan;
+        if (charged) {
+            plan.battery_cap_j = 2.0 * budget_j;
+            plan.battery_stored_j = budget_j;
+        } else {
+            plan.battery_j = budget_j;
+        }
+        SimResult sim =
+            runSchedule(test, prog, mode, width, sch, &plan);
+        std::string tag = std::string(charged ? "battery-cap k="
+                                              : "battery k=") +
+                          std::to_string(k) + ": ";
+        if (!sim.ok) {
+            addViolation(sch, tag + sim.error);
+            return;
+        }
+        bool should_exhaust = k < order.size();
+        if (sim.crash.battery_exhausted != should_exhaust)
+            addViolation(sch, tag + "battery_exhausted=" +
+                                  (sim.crash.battery_exhausted
+                                       ? "true"
+                                       : "false") +
+                                  ", expected the opposite");
+        std::uint64_t want_lost = order.size() - k;
+        if (sim.crash.sacrificed_blocks != want_lost)
+            addViolation(sch,
+                         tag + "sacrificed " +
+                             u64(sim.crash.sacrificed_blocks) +
+                             " blocks, expected " + u64(want_lost));
+        if (!sim.crash.drain_prefix_ok)
+            addViolation(sch, tag + "drain prefix oracle violated");
+        std::array<std::uint64_t, kMaxVars> want{};
+        for (std::size_t i = 0; i < k; ++i)
+            want[order[i].first] = order[i].second;
+        for (unsigned v = 0; v < test.vars.size(); ++v) {
+            if (sim.image[v] != want[v]) {
+                addViolation(sch, tag + "image " + test.vars[v] +
+                                      "=" + u64(sim.image[v]) +
+                                      ", expected exact prefix "
+                                      "value " +
+                                      u64(want[v]));
             }
         }
     }

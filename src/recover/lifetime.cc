@@ -1,12 +1,16 @@
 #include "recover/lifetime.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 #include <sstream>
 #include <utility>
 
 #include "api/experiment.hh"
 #include "api/system.hh"
+#include "energy/energy_model.hh"
 #include "fault/fault_injector.hh"
+#include "power/power_trace.hh"
 #include "sim/rng.hh"
 
 namespace bbb
@@ -46,8 +50,23 @@ lifetimeReproLine(const std::string &workload, PersistMode mode,
 {
     std::ostringstream os;
     os << "--workload " << workload << " --mode " << persistModeName(mode)
-       << " --seed " << seed << " --rounds " << rounds << " --fault-plan "
-       << plan.toString();
+       << " --seed " << seed << " --rounds " << rounds;
+    if (!plan.trace.empty()) {
+        // Power-trace samples replay from explicit flags (the acceptance
+        // contract: one --trace/--seed/--battery-j line per sample); the
+        // residual plan token carries whatever other faults ride along.
+        os << " --trace " << plan.trace << " --battery-j "
+           << compactDouble(plan.battery_cap_j) << " --policy "
+           << degradePolicyName(plan.policy);
+        FaultPlan rest = plan;
+        rest.trace.clear();
+        rest.battery_cap_j = -1.0;
+        rest.battery_stored_j = -1.0;
+        rest.policy = DegradePolicy::None;
+        os << " --fault-plan " << rest.toString();
+    } else {
+        os << " --fault-plan " << plan.toString();
+    }
     return os.str();
 }
 
@@ -89,6 +108,30 @@ planLifetimeCampaign(const LifetimeSpec &spec)
         spec.modes.empty() ? safePersistModes() : spec.modes;
     std::vector<NamedFaultPlan> plans =
         spec.plans.empty() ? faultPlanPresets() : spec.plans;
+    if (!spec.traces.empty()) {
+        // Power sweep: the plan axis is trace × battery × policy, each
+        // cell one replayable FaultPlan.
+        std::vector<double> caps = spec.battery_caps;
+        if (caps.empty())
+            caps.push_back(50e-6);
+        std::vector<DegradePolicy> pols = spec.policies;
+        if (pols.empty())
+            pols.push_back(DegradePolicy::None);
+        plans.clear();
+        for (const std::string &trace : spec.traces) {
+            for (double cap : caps) {
+                for (DegradePolicy pol : pols) {
+                    FaultPlan p;
+                    p.trace = trace;
+                    p.battery_cap_j = cap;
+                    p.policy = pol;
+                    plans.push_back({trace + "+" + compactDouble(cap) +
+                                         "J+" + degradePolicyName(pol),
+                                     p});
+                }
+            }
+        }
+    }
     BBB_ASSERT(spec.min_crash_tick <= spec.max_crash_tick,
                "empty crash-tick window");
     BBB_ASSERT(spec.rounds >= 1, "a lifetime needs at least one round");
@@ -221,10 +264,32 @@ runLifetimeSample(const LifetimeSample &sample)
     bool keyed = false;
     bool degraded = false;
 
+    // Power-trace lifetimes: outages come from walking the trace with a
+    // live battery instead of from seeded crash ticks.
+    const bool power_mode = !sample.plan.trace.empty();
+    std::unique_ptr<PowerScheduler> power;
+    double item_j = 0.0;
+    if (power_mode) {
+        PowerTrace ptrace = PowerTrace::parse(sample.plan.trace);
+        power = std::make_unique<PowerScheduler>(
+            ptrace, BatterySpec::fromCapacityJ(sample.plan.battery_cap_j));
+        if (sample.plan.policy == DegradePolicy::Throttle)
+            power->setPostWarningLoad(0.5);
+        EnergyConstants con;
+        item_j = kBlockSize * (con.sram_access_j_per_byte +
+                               con.l1_to_nvmm_j_per_byte);
+    }
+
     for (unsigned round = 0; round < sample.rounds; ++round) {
         LifetimeRound rr;
-        rr.crash_tick =
-            sched.range(sample.min_crash_tick, sample.max_crash_tick);
+        if (power_mode) {
+            // Keep the stream shape of the point-crash path: one draw
+            // stands in for the crash-tick sample.
+            (void)sched.next();
+        } else {
+            rr.crash_tick =
+                sched.range(sample.min_crash_tick, sample.max_crash_tick);
+        }
         std::uint64_t sys_seed = sched.next();
         std::uint64_t fault_seed = sched.next();
 
@@ -251,7 +316,47 @@ runLifetimeSample(const LifetimeSample &sample)
             wl->resume(sys);
         }
 
-        rr.report = sys.runAndCrashAt(rr.crash_tick);
+        if (!power_mode) {
+            rr.report = sys.runAndCrashAt(rr.crash_tick);
+        } else {
+            // Walk the trace to the next outage. The warning hook runs
+            // the machine up to the warning instant (window-relative),
+            // applies the degradation policy, and reports the Joules the
+            // policy itself spent so the battery sees the drain.
+            PowerWindow win;
+            power->setWarningHook([&](Tick tick, double) -> double {
+                sys.runUntil(tick - win.start);
+                double spent = 0.0;
+                if (plan.policy == DegradePolicy::DrainOldest) {
+                    std::uint64_t blocks = sys.proactiveDrain();
+                    rr.proactive_blocks = blocks;
+                    power->stats().proactive_drain_blocks += blocks;
+                    spent = static_cast<double>(blocks) * item_j;
+                } else if (plan.policy == DegradePolicy::RefuseDirty) {
+                    sys.setLowPower(true);
+                }
+                return spent;
+            });
+            bool have = power->nextWindow(&win);
+            power->setWarningHook(nullptr); // sys dies with this round
+            if (!have)
+                break; // trace exhausted (possibly starved): no more rounds
+            rr.power_round = true;
+            rr.crash_tick = win.runTicks();
+            rr.charge_at_outage = win.charge_at_outage;
+            rr.brownout_outage = win.brownout_outage;
+            rr.had_warning = win.has_warning;
+            // The drain budget is whatever charge the battery actually
+            // held at the failure; the budget is only consulted at crash
+            // time, so refining it now leaves the media stream untouched.
+            if (FaultInjector *finj = sys.faultInjector())
+                finj->setBatteryBudgetJ(win.charge_at_outage);
+            sys.runUntil(rr.crash_tick);
+            rr.report = sys.crashNow();
+            power->noteCrashSpend(
+                rr.report.battery_spent_j, rr.report.battery_exhausted,
+                static_cast<double>(rr.report.sacrificed_blocks) * item_j);
+        }
 
         // Oracle 1: the ledger-healed image must be consistent and, for
         // keyed workloads, durably linearizable against the baseline.
@@ -313,6 +418,10 @@ runLifetimeSample(const LifetimeSample &sample)
         r.round_log.push_back(std::move(rr));
         if (!ok) {
             r.outcome = LifetimeOutcome::OracleViolation;
+            if (power_mode) {
+                r.powered = true;
+                r.power = power->stats();
+            }
             return r;
         }
 
@@ -326,6 +435,10 @@ runLifetimeSample(const LifetimeSample &sample)
 
     r.outcome = degraded ? LifetimeOutcome::DegradedRepaired
                          : LifetimeOutcome::Clean;
+    if (power_mode) {
+        r.powered = true;
+        r.power = power->stats();
+    }
     return r;
 }
 
@@ -390,6 +503,36 @@ runLifetimeCampaign(const LifetimeSpec &spec, unsigned jobs)
     m.setCount("lifetime.recovery_clean", rec_clean);
     m.setCount("lifetime.recovery_degraded", rec_degraded);
     m.setCount("lifetime.recovery_unrecoverable", rec_unrecoverable);
+
+    // Power-environment aggregates, present only when the campaign swept
+    // power traces (keeps point-crash snapshots byte-identical).
+    PowerStats pw;
+    std::uint64_t powered = 0, starved = 0;
+    for (const LifetimeResult &r : summary.results) {
+        if (!r.powered)
+            continue;
+        ++powered;
+        if (r.power.starved)
+            ++starved;
+        pw.merge(r.power);
+    }
+    if (powered) {
+        m.setCount("power.lifetimes", powered);
+        m.setCount("power.outages", pw.outages);
+        m.setCount("power.brownout_outages", pw.brownout_outages);
+        m.setCount("power.brownouts_survived", pw.brownouts_survived);
+        m.setCount("power.warnings", pw.warnings);
+        m.setCount("power.proactive_drain_blocks",
+                   pw.proactive_drain_blocks);
+        m.setCount("power.resume_waits", pw.resume_waits);
+        m.setCount("power.starved", starved);
+        m.setReal("power.energy_harvested_j", pw.energy_harvested_j);
+        m.setReal("power.energy_activity_j", pw.energy_activity_j);
+        m.setReal("power.energy_drain_j", pw.energy_drain_j);
+        m.setReal("power.min_headroom_j",
+                  std::isfinite(pw.min_headroom_j) ? pw.min_headroom_j
+                                                   : 0.0);
+    }
     return summary;
 }
 

@@ -58,6 +58,7 @@
 #include "core/crash_engine.hh"
 #include "fault/fault_plan.hh"
 #include "persist/recovery.hh"
+#include "power/power_scheduler.hh"
 #include "recover/recovery_manager.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
@@ -101,7 +102,11 @@ struct LifetimeSample
     std::uint64_t seed = 1;
     /** Crash–recover–resume rounds in this lifetime. */
     unsigned rounds = 3;
-    /** Per-round crash tick sampling window. */
+    /**
+     * Per-round crash tick sampling window. Ignored when plan.trace is
+     * set: outage timing then comes from the power trace, and `rounds`
+     * is only an upper bound (the trace decides how many windows fit).
+     */
     Tick min_crash_tick = nsToTicks(2000);
     Tick max_crash_tick = nsToTicks(400000);
 
@@ -128,6 +133,19 @@ struct LifetimeRound
     bool oracle_ok = true;
     /** First failed check, empty when oracle_ok. */
     std::string detail;
+
+    /** --- Power-trace rounds only (plan.trace set) -------------------- */
+
+    /** This round's outage came from a power trace, not a seeded tick. */
+    bool power_round = false;
+    /** Charge stored at the outage (J) — the round's drain budget. */
+    double charge_at_outage = -1.0;
+    /** The battery emptied mid-brownout (zero-budget outage). */
+    bool brownout_outage = false;
+    /** The low-charge warning fired (degradation policy ran). */
+    bool had_warning = false;
+    /** Blocks the warning policy proactively drained. */
+    std::uint64_t proactive_blocks = 0;
 };
 
 /** Everything one lifetime produced. */
@@ -141,10 +159,17 @@ struct LifetimeResult
     FaultPlan plan;
 
     LifetimeOutcome outcome = LifetimeOutcome::Clean;
-    /** Per-round log; shorter than rounds iff a round violated. */
+    /**
+     * Per-round log; shorter than rounds iff a round violated — or, for
+     * power-trace lifetimes, iff the trace ran out of windows.
+     */
     std::vector<LifetimeRound> round_log;
     /** Fingerprint of the final recovered image. */
     std::uint64_t image_fingerprint = 0;
+
+    /** Power-environment aggregates (power-trace lifetimes only). */
+    bool powered = false;
+    PowerStats power;
 
     /** First round that failed the oracle, or nullptr. */
     const LifetimeRound *firstViolation() const;
@@ -178,6 +203,18 @@ struct LifetimeSpec
     Tick max_crash_tick = nsToTicks(400000);
     /** Seed of the campaign's sampling stream. */
     std::uint64_t campaign_seed = 1;
+
+    /**
+     * Power-environment sweep: when `traces` is non-empty the plan axis
+     * becomes trace × battery_caps × policies (the `plans` family is
+     * ignored), every outage comes from the trace, and `rounds` caps the
+     * windows taken per lifetime.
+     */
+    std::vector<std::string> traces;
+    /** Usable battery capacities to sweep (J). */
+    std::vector<double> battery_caps;
+    /** Degradation policies to sweep; empty means just None. */
+    std::vector<DegradePolicy> policies;
 };
 
 /** Campaign results plus the outcome tally. */
