@@ -86,8 +86,9 @@ BM_BbpbAllocateCoalesce(benchmark::State &state)
     cfg.num_cores = 1;
     EventQueue eq;
     BackingStore store;
+    DirectMedia media(store);
     StatRegistry stats;
-    MemCtrl nvmm("nvmm", cfg.nvmm, eq, store, stats);
+    MemCtrl nvmm("nvmm", cfg.nvmm, eq, media, stats);
     MemSideBbpb bbpb(cfg, eq, nvmm, stats);
     BlockData data;
     Rng rng(13);

@@ -17,9 +17,15 @@
  * Usage:
  *   fault_campaign [--workloads NAME[,NAME...]] [--points N] [--ops N]
  *                  [--initial N] [--campaign-seed N] [--jobs N]
- *                  [--battery-fraction F] [--verbose] [--json PATH]
+ *                  [--battery-fraction F] [--media direct|ftl]
+ *                  [--verbose] [--json PATH]
  *   fault_campaign --workload NAME --seed S --crash-tick T
- *                  --fault-plan PLAN
+ *                  --fault-plan PLAN [--media direct|ftl]
+ *
+ * With --media ftl every sample runs on the FTL endurance backend (low
+ * fixed endurance so wear retirement shows at campaign scale); the plan
+ * token in each printed repro line carries media=ftl, so replaying the
+ * line reproduces the same machine with no extra flags.
  *
  * Exit status: 0 when no sample violates the oracle, 1 otherwise.
  */
@@ -46,9 +52,10 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--workloads NAME[,NAME...]] [--points N] [--ops N]\n"
         "          [--initial N] [--campaign-seed N] [--jobs N]\n"
-        "          [--shards N] [--battery-fraction F] [--verbose]\n"
-        "          [--json PATH]\n"
+        "          [--shards N] [--battery-fraction F] [--media direct|ftl]\n"
+        "          [--verbose] [--json PATH]\n"
         "   or: %s --workload NAME --seed S --crash-tick T --fault-plan P\n"
+        "          [--media direct|ftl]\n"
         "plans: none",
         argv0, argv0);
     for (const auto &np : faultPlanPresets()) {
@@ -58,6 +65,10 @@ usage(const char *argv0)
     std::fprintf(stderr, " or key=value[,key=value...]\n");
     std::exit(2);
 }
+
+/** Endurance rating used whenever this example runs media=ftl: low
+ *  enough that campaign-scale write streams retire frames. */
+constexpr std::uint64_t kFtlEnduranceCycles = 512;
 
 /** The campaign machine: small enough that crash points land mid-run. */
 SystemConfig
@@ -96,6 +107,7 @@ main(int argc, char **argv)
     bool verbose = false;
     double battery_fraction = 0.0;
     std::string json_path;
+    std::string media;
 
     // Replay flags (presence of --crash-tick selects replay mode).
     std::string replay_workload;
@@ -131,6 +143,9 @@ main(int argc, char **argv)
             next(); // value parsed/validated below by cli::shardsArg
         } else if (arg == "--battery-fraction") {
             battery_fraction = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--media") {
+            media = next();
+            (void)mediaKindFromName(media); // validate (fatal on typo)
         } else if (arg == "--verbose") {
             verbose = true;
         } else if (arg == "--json") {
@@ -158,6 +173,9 @@ main(int argc, char **argv)
     spec.base.shards =
         bbb::cli::shardsArg(argc, argv, spec.base.num_cores);
 
+    if (!media.empty())
+        spec.base.media.kind = mediaKindFromName(media);
+
     if (replay) {
         if (replay_workload.empty())
             usage(argv[0]);
@@ -170,6 +188,13 @@ main(int argc, char **argv)
         sample.crash_tick = replay_tick;
         sample.plan = FaultPlan::parse(replay_plan);
         sample.plan_name = replay_plan;
+        if (!media.empty() && sample.plan.media.empty())
+            sample.plan.media = media;
+        // FTL replays/campaigns use the example's fixed low endurance so
+        // wear retirement is observable at campaign scale; the repro
+        // line only needs to carry media=ftl.
+        if (sample.plan.media == "ftl" || media == "ftl")
+            sample.cfg.media.endurance_cycles = kFtlEnduranceCycles;
 
         CrashSampleResult r = runCrashSample(sample);
         std::printf("replay   %s\n", r.reproLine().c_str());
@@ -196,6 +221,9 @@ main(int argc, char **argv)
         std::printf("image    fingerprint %016llx, %llu damaged blocks\n",
                     (unsigned long long)r.image_fingerprint,
                     (unsigned long long)r.damaged_blocks);
+        if (sample.plan.media == "ftl")
+            std::printf("media    ftl: %llu frames retired for wear\n",
+                        (unsigned long long)r.retired_frames);
         return r.outcome == CampaignOutcome::OracleViolation ? 1 : 0;
     }
 
@@ -207,6 +235,14 @@ main(int argc, char **argv)
         np.name = "undersized-battery";
         np.plan = undersizedBatteryPlan(spec.base, battery_fraction);
         spec.plans.push_back(np);
+    }
+    if (!media.empty()) {
+        // Stamp the backend into every plan token so each printed repro
+        // line is a complete one-liner (`--media ftl` optional on replay).
+        for (NamedFaultPlan &np : spec.plans)
+            np.plan.media = media;
+        if (media == "ftl")
+            spec.base.media.endurance_cycles = kFtlEnduranceCycles;
     }
 
     CampaignSummary summary;
@@ -228,6 +264,15 @@ main(int argc, char **argv)
                 (unsigned long long)summary.clean,
                 (unsigned long long)summary.degraded,
                 (unsigned long long)summary.violations);
+    if (media == "ftl") {
+        std::uint64_t retired = 0;
+        for (const CrashSampleResult &r : summary.results)
+            retired += r.retired_frames;
+        std::printf("media    ftl (endurance %llu): %llu frames retired "
+                    "across the campaign\n",
+                    (unsigned long long)kFtlEnduranceCycles,
+                    (unsigned long long)retired);
+    }
 
     if (!json_path.empty()) {
         BenchReport rep("fault_campaign");
@@ -242,6 +287,7 @@ main(int argc, char **argv)
                       std::uint64_t{spec.params.initial_elements});
         rep.setConfig("campaign_seed", std::uint64_t{spec.campaign_seed});
         rep.setConfig("bbpb_entries", std::uint64_t{spec.base.bbpb.entries});
+        rep.setConfig("media", mediaKindName(spec.base.media.kind));
         rep.measured().merge(summary.metrics, "");
         rep.noteRun(secs, jobs);
         rep.noteShards(spec.base.shards);

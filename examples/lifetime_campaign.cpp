@@ -51,13 +51,18 @@ usage(const char *argv0)
         "          [--ops N] [--initial N] [--campaign-seed N] [--jobs N]\n"
         "          [--shards N] [--verbose] [--json PATH]\n"
         "          [--traces T[,T...]] [--battery-caps J[,J...]]\n"
-        "          [--policies P[,P...]]\n"
+        "          [--policies P[,P...]] [--media direct|ftl]\n"
         "   or: %s --workload NAME --mode M --seed S --rounds K "
         "--fault-plan P\n"
-        "          [--trace T --battery-j J --policy P]\n",
+        "          [--trace T --battery-j J --policy P] "
+        "[--media direct|ftl]\n",
         argv0, argv0);
     std::exit(2);
 }
+
+/** Endurance rating used whenever this example runs media=ftl: low
+ *  enough that lifetime-scale write streams retire frames. */
+constexpr std::uint64_t kFtlEnduranceCycles = 512;
 
 /** The campaign machine: small enough that crash points land mid-run. */
 SystemConfig
@@ -109,6 +114,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     bool verbose = false;
     std::string json_path;
+    std::string media;
 
     // Replay flags (presence of --seed selects replay mode).
     std::string replay_workload;
@@ -184,6 +190,9 @@ main(int argc, char **argv)
             replay_cap = std::strtod(next().c_str(), nullptr);
         } else if (arg == "--policy") {
             replay_policy = parseDegradePolicy(next());
+        } else if (arg == "--media") {
+            media = next();
+            (void)mediaKindFromName(media); // validate (fatal on typo)
         } else if (arg == "--strict-args") {
             // This loop is already strict: unknown or value-less flags
             // exit(2) via usage(). Accepted so campaign scripts can pass
@@ -197,6 +206,20 @@ main(int argc, char **argv)
     // replay): byte-neutral to results, so repro lines need not carry it.
     spec.base.shards =
         bbb::cli::shardsArg(argc, argv, spec.base.num_cores);
+
+    if (!media.empty()) {
+        spec.base.media.kind = mediaKindFromName(media);
+        if (media == "ftl")
+            spec.base.media.endurance_cycles = kFtlEnduranceCycles;
+        // Stamp the backend into the plan tokens (point-crash sweeps) so
+        // every printed repro line is complete on its own. Power-trace
+        // sweeps rebuild their plans internally; their repro lines need
+        // --media repeated, which replay mode accepts.
+        if (spec.plans.empty() && spec.traces.empty())
+            spec.plans = faultPlanPresets();
+        for (NamedFaultPlan &np : spec.plans)
+            np.plan.media = media;
+    }
 
     if (replay) {
         if (replay_workload.empty())
@@ -219,6 +242,10 @@ main(int argc, char **argv)
                                compactDouble(replay_cap) + "J+" +
                                degradePolicyName(replay_policy);
         }
+        if (!media.empty() && sample.plan.media.empty())
+            sample.plan.media = media;
+        if (sample.plan.media == "ftl")
+            sample.cfg.media.endurance_cycles = kFtlEnduranceCycles;
         sample.seed = replay_seed;
         sample.rounds = spec.rounds;
         sample.min_crash_tick = spec.min_crash_tick;
@@ -301,6 +328,7 @@ main(int argc, char **argv)
                       std::uint64_t{spec.params.initial_elements});
         rep.setConfig("campaign_seed", std::uint64_t{spec.campaign_seed});
         rep.setConfig("bbpb_entries", std::uint64_t{spec.base.bbpb.entries});
+        rep.setConfig("media", mediaKindName(spec.base.media.kind));
         if (!spec.traces.empty()) {
             std::string traces, caps, pols;
             for (const std::string &t : spec.traces)

@@ -46,6 +46,7 @@ usage(const char *argv0)
                  "usage: %s [--workload NAME[,NAME...]|all] [--mode MODE]\n"
                  "          [--entries N] [--ops N] [--initial N]\n"
                  "          [--threshold F] [--policy fcfs|lrw|random]\n"
+                 "          [--media direct|ftl] [--endurance N]\n"
                  "          [--jobs N] [--shards N] [--stats]"
                  " [--trace FILE] [--json PATH]\n\n"
                  "workloads:",
@@ -144,6 +145,11 @@ main(int argc, char **argv)
             cfg.bbpb.drain_threshold = std::strtod(next().c_str(), nullptr);
         } else if (arg == "--policy") {
             cfg.bbpb.drain_policy = parsePolicy(next());
+        } else if (arg == "--media") {
+            cfg.media.kind = mediaKindFromName(next());
+        } else if (arg == "--endurance") {
+            cfg.media.endurance_cycles =
+                std::strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--trace") {
@@ -199,6 +205,17 @@ main(int argc, char **argv)
     std::printf("bbpb                %u entries, %.0f%% threshold, %s\n",
                 cfg.bbpb.entries, cfg.bbpb.drain_threshold * 100,
                 drainPolicyName(cfg.bbpb.drain_policy));
+    if (cfg.media.kind == MediaKind::Ftl)
+        std::printf("media               ftl (endurance %llu, wear-delta "
+                    "%u): %llu programs, %llu migrations, %llu retired\n",
+                    (unsigned long long)cfg.media.endurance_cycles,
+                    cfg.media.wear_delta,
+                    (unsigned long long)sys.stats().lookup("media",
+                                                           "programs"),
+                    (unsigned long long)sys.stats().lookup("media",
+                                                           "migrations"),
+                    (unsigned long long)sys.stats().lookup(
+                        "media", "retired_frames"));
     std::printf("execution time      %.1f us\n",
                 ticksToNs(sys.executionTime()) / 1000.0);
     std::printf("nvmm writes         %llu (flush-fair)\n",
@@ -244,6 +261,7 @@ main(int argc, char **argv)
     if (!json_path.empty()) {
         BenchReport report("run_experiment");
         report.setConfig("workload", workload);
+        report.setConfig("media", mediaKindName(cfg.media.kind));
         report.setConfig("mode", persistModeName(cfg.mode));
         report.setConfig("bbpb_entries", std::uint64_t{cfg.bbpb.entries});
         report.setConfig("ops_per_thread",

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "api/report.hh"
+#include "mem/ftl/ftl_media.hh"
 
 namespace bbb
 {
@@ -27,9 +28,20 @@ System::System(const SystemConfig &cfg)
 
     _eq.reserve(_cfg.eventCapacityHint());
 
-    _dram = std::make_unique<MemCtrl>("dram", _cfg.dram, _eq, _store,
+    // The DRAM device has no endurance model: always a pass-through
+    // (and unregistered — the "media" stat group describes the NVMM).
+    _dram_media = std::make_unique<DirectMedia>(_store);
+    if (_cfg.media.kind == MediaKind::Ftl) {
+        _nvmm_media = std::make_unique<FtlMedia>(_store, _cfg.media,
+                                                 _cfg.nvmm.channels);
+    } else {
+        _nvmm_media = std::make_unique<DirectMedia>(_store);
+    }
+    _nvmm_media->registerStats(_stats);
+
+    _dram = std::make_unique<MemCtrl>("dram", _cfg.dram, _eq, *_dram_media,
                                       _stats);
-    _nvmm = std::make_unique<MemCtrl>("nvmm", _cfg.nvmm, _eq, _store,
+    _nvmm = std::make_unique<MemCtrl>("nvmm", _cfg.nvmm, _eq, *_nvmm_media,
                                       _stats);
     _hier = std::make_unique<CacheHierarchy>(_cfg, _map, _eq, *_dram,
                                              *_nvmm, _stats);
@@ -75,8 +87,9 @@ System::System(const SystemConfig &cfg)
     }
 
     _heap = std::make_unique<PersistentHeap>(_map, _cfg.num_cores);
-    _crash = std::make_unique<CrashEngine>(_cfg, *_hier, *_nvmm, _store,
-                                           *_backend, _cores, _stats);
+    _crash = std::make_unique<CrashEngine>(_cfg, *_hier, *_nvmm,
+                                           *_nvmm_media, *_backend, _cores,
+                                           _stats);
     _fault_stats.registerWith(_stats.group("fault"));
 
     StatGroup &sim = _stats.group("sim");
@@ -102,11 +115,13 @@ System::setFaultPlan(const FaultPlan &plan)
         _faults.reset();
         _nvmm->setFaultInjector(nullptr);
         _crash->setFaultInjector(nullptr);
+        _nvmm_media->setFaultInjector(nullptr);
         return;
     }
     _faults = std::make_unique<FaultInjector>(plan, &_fault_stats);
     _nvmm->setFaultInjector(_faults.get());
     _crash->setFaultInjector(_faults.get());
+    _nvmm_media->setFaultInjector(_faults.get());
 }
 
 MetricSnapshot
@@ -130,6 +145,11 @@ System::snapshotMetrics(bool histogram_buckets) const
                static_cast<double>(_nvmm->wpqOccupancy()));
     m.setLevel("system.backend_occupancy",
                static_cast<double>(_backend->occupancy()));
+
+    // Media-layer derived leaves: write amplification always, plus the
+    // wear/remap/lifetime subtree for the FTL backend. Simulated time
+    // only, so the leaves are canonical-safe.
+    _nvmm_media->addDerivedMetrics(m, ticksToNs(_exec_time) * 1e-9);
 
     // Instantaneous dirty-state watermarks from the hierarchy walk.
     DirtyStats d = _hier->dirtyStats();

@@ -64,6 +64,10 @@ class System
     CacheHierarchy &hierarchy() { return *_hier; }
     MemCtrl &nvmm() { return *_nvmm; }
     MemCtrl &dram() { return *_dram; }
+
+    /** The NVMM media backend (DirectMedia or FtlMedia per cfg.media). */
+    MediaBackend &nvmmMedia() { return *_nvmm_media; }
+    const MediaBackend &nvmmMedia() const { return *_nvmm_media; }
     PersistentHeap &heap() { return *_heap; }
     BackingStore &image() { return _store; }
     PersistencyBackend &backend() { return *_backend; }
@@ -232,6 +236,10 @@ class System
     EventQueue _eq;
     StatRegistry _stats;
     BackingStore _store;
+    /// Media backends outlive (and are declared before) their
+    /// controllers; the NVMM one is shared with the crash engine.
+    std::unique_ptr<MediaBackend> _dram_media;
+    std::unique_ptr<MediaBackend> _nvmm_media;
     std::unique_ptr<MemCtrl> _dram;
     std::unique_ptr<MemCtrl> _nvmm;
     std::unique_ptr<CacheHierarchy> _hier;

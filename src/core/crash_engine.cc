@@ -151,12 +151,12 @@ CrashEngine::crash(Tick now)
     auto writeDrainedBlock = [&](Addr block, const BlockData &data) {
         if (media_faults) {
             MediaWriteOutcome out =
-                _faults->performMediaWrite(_store, block, data);
+                _faults->performMediaWrite(_media, block, data);
             rep.media_retries += out.retries;
             if (out.torn)
                 ++rep.torn_media_blocks;
         } else {
-            _store.writeBlock(block, data.bytes.data());
+            _media.commitBlock(block, data);
         }
     };
 
@@ -242,14 +242,14 @@ CrashEngine::crash(Tick now)
             auto entries = core->storeBuffer().drainForCrash();
             for (const auto &e : entries) {
                 if (batteryAllows(e.size, l1_rate_j)) {
-                    _store.write(e.addr, &e.data, e.size);
+                    _media.writeBytes(e.addr, &e.data, e.size);
                     ++rep.sb_entries;
                     l1_rate_bytes += e.size;
                     noteDrained();
                 } else {
                     sacrificed_seen = true;
                     ++rep.sacrificed_blocks;
-                    _faults->noteSacrificedBytes(_store, e.addr, &e.data,
+                    _faults->noteSacrificedBytes(_media, e.addr, &e.data,
                                                  e.size);
                 }
             }
@@ -262,6 +262,12 @@ CrashEngine::crash(Tick now)
         static_cast<double>(rep.drained_bytes) /
         (cost.constants().channel_write_bw * _cfg.nvmm.channels);
     rep.battery_spent_j = battery.spentJ();
+
+    // The reboot "mount": an FTL backend replays its reconstructed remap
+    // table into the logical image so recovery's raw post-crash walk
+    // reads every block through the mapping.
+    _media.onCrashComplete();
+
     _stats.note(rep);
     return rep;
 }

@@ -12,8 +12,10 @@
  *                          (+ battery-backed store buffers under relaxed
  *                          consistency).
  *
- * The engine applies the drains to the backing store (producing the image
- * recovery code sees) and reports the energy/time cost of the drain using
+ * The engine applies the drains through the NVMM media backend (producing
+ * the image recovery code sees — the backend's onCrashComplete() "mount"
+ * replays any remap table into the logical image afterwards) and reports
+ * the energy/time cost of the drain using
  * the Table VI model, which is how the paper's Tables VII/VIII compare
  * eADR and BBB.
  *
@@ -133,11 +135,11 @@ class CrashEngine
 {
   public:
     CrashEngine(const SystemConfig &cfg, CacheHierarchy &hier,
-                MemCtrl &nvmm, BackingStore &store,
+                MemCtrl &nvmm, MediaBackend &media,
                 PersistencyBackend &backend,
                 std::vector<std::unique_ptr<Core>> &cores,
                 StatRegistry &stats)
-        : _cfg(cfg), _hier(hier), _nvmm(nvmm), _store(store),
+        : _cfg(cfg), _hier(hier), _nvmm(nvmm), _media(media),
           _backend(backend), _cores(cores)
     {
         _stats.registerWith(stats.group("crash"));
@@ -166,7 +168,7 @@ class CrashEngine
     const SystemConfig &_cfg;
     CacheHierarchy &_hier;
     MemCtrl &_nvmm;
-    BackingStore &_store;
+    MediaBackend &_media;
     PersistencyBackend &_backend;
     std::vector<std::unique_ptr<Core>> &_cores;
     FaultInjector *_faults = nullptr;

@@ -105,7 +105,12 @@ planCampaign(const CampaignSpec &spec)
 CrashSampleResult
 runCrashSample(const CrashSample &sample)
 {
-    System sys(sample.cfg);
+    SystemConfig cfg = sample.cfg;
+    // The plan token carries the media backend so a repro line rebuilds
+    // the same machine (media=ftl crashes exercise the remap mount).
+    if (!sample.plan.media.empty())
+        cfg.media.kind = mediaKindFromName(sample.plan.media);
+    System sys(cfg);
     sys.setFaultPlan(sample.plan);
     auto wl = makeWorkload(sample.workload, sample.params);
     wl->install(sys);
@@ -120,6 +125,7 @@ runCrashSample(const CrashSample &sample)
     r.report = sys.runAndCrashAt(sample.crash_tick);
     r.raw = wl->checkRecovery(sys.pmemImage());
     r.image_fingerprint = sys.image().fingerprint();
+    r.retired_frames = sys.nvmmMedia().stats().retired_frames.value();
 
     const FaultInjector *inj = sys.faultInjector();
     if (inj && !inj->damagedBlocks().empty()) {
@@ -169,6 +175,7 @@ runCrashCampaign(const CampaignSpec &spec, unsigned jobs)
 
     std::uint64_t damaged = 0, sacrificed = 0, torn = 0, retries = 0;
     std::uint64_t recrashes = 0, exhausted = 0, drained_bytes = 0;
+    std::uint64_t retired = 0;
     double battery_spent_j = 0.0;
     for (const CrashSampleResult &r : summary.results) {
         switch (r.outcome) {
@@ -183,6 +190,7 @@ runCrashCampaign(const CampaignSpec &spec, unsigned jobs)
             break;
         }
         damaged += r.damaged_blocks;
+        retired += r.retired_frames;
         sacrificed += r.report.sacrificed_blocks;
         torn += r.report.torn_media_blocks;
         retries += r.report.media_retries;
@@ -199,6 +207,7 @@ runCrashCampaign(const CampaignSpec &spec, unsigned jobs)
     m.setCount("campaign.degraded_prefix", summary.degraded);
     m.setCount("campaign.oracle_violations", summary.violations);
     m.setCount("campaign.damaged_blocks", damaged);
+    m.setCount("campaign.retired_frames", retired);
     m.setCount("campaign.sacrificed_blocks", sacrificed);
     m.setCount("campaign.torn_media_blocks", torn);
     m.setCount("campaign.media_retries", retries);

@@ -94,6 +94,8 @@ struct CrashSampleResult
     RecoveryResult repaired;
     /** Blocks in the fault ledger (torn + sacrificed). */
     std::uint64_t damaged_blocks = 0;
+    /** Media frames retired for wear during the sample (media=ftl). */
+    std::uint64_t retired_frames = 0;
     /** Post-crash image fingerprint (determinism comparisons). */
     std::uint64_t image_fingerprint = 0;
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "mem/media_backend.hh"
 #include "power/battery.hh"
 
 namespace bbb
@@ -19,7 +20,7 @@ FaultInjector::budgetFromPlan(const FaultPlan &plan)
 }
 
 MediaWriteOutcome
-FaultInjector::performMediaWrite(BackingStore &store, Addr block,
+FaultInjector::performMediaWrite(MediaBackend &media, Addr block,
                                  const BlockData &data)
 {
     MediaWriteOutcome out;
@@ -27,7 +28,7 @@ FaultInjector::performMediaWrite(BackingStore &store, Addr block,
     while (sampleMediaAttemptFails()) {
         if (out.retries >= _plan.media_retries) {
             out.torn = true;
-            commitTorn(store, block, data);
+            commitTorn(media, block, data);
             return out;
         }
         ++out.retries;
@@ -35,23 +36,32 @@ FaultInjector::performMediaWrite(BackingStore &store, Addr block,
         out.backoff += backoff;
         backoff *= 2;
     }
-    store.writeBlock(block, data.bytes.data());
+    media.commitBlock(block, data);
     noteCleanWrite(block);
     return out;
 }
 
 void
-FaultInjector::noteSacrificedBytes(const BackingStore &store, Addr addr,
+FaultInjector::commitTorn(MediaBackend &media, Addr block,
+                          const BlockData &intended)
+{
+    media.commitTorn(block, intended, kTornBytes);
+    _damaged[block] = intended;
+    ++_stats->torn_blocks;
+}
+
+void
+FaultInjector::noteSacrificedBytes(MediaBackend &media, Addr addr,
                                    const void *src, unsigned size)
 {
     // Store-buffer entries are sub-block writes: the intended content is
     // whatever the block holds (in the ledger if already damaged, else in
-    // the image) with these bytes applied on top.
+    // the media image) with these bytes applied on top.
     Addr block = blockAlign(addr);
     auto it = _damaged.find(block);
     if (it == _damaged.end()) {
         BlockData current;
-        store.readBlock(block, current.bytes.data());
+        media.readBlock(block, current.bytes.data());
         it = _damaged.emplace(block, current).first;
         ++_stats->sacrificed_blocks;
     }

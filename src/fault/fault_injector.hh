@@ -36,13 +36,15 @@
 #include "energy/energy_model.hh"
 #include "fault/fault_plan.hh"
 #include "mem/backing_store.hh"
-#include "mem/mem_ctrl.hh"
+#include "mem/block_data.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace bbb
 {
+
+class MediaBackend;
 
 /**
  * Fault-layer counters. A System owns one instance registered under the
@@ -56,6 +58,7 @@ struct FaultStats
     StatCounter torn_blocks;       ///< blocks torn by terminal failures
     StatCounter media_retries;     ///< failed media attempts retried
     StatCounter sacrificed_blocks; ///< crash-time items lost to battery
+    StatCounter retired_frames;    ///< media frames retired into the ledger
 
     void
     registerWith(StatGroup &g)
@@ -66,6 +69,8 @@ struct FaultStats
                      "media write retries taken");
         g.addCounter("sacrificed_blocks", &sacrificed_blocks,
                      "persistence-domain items lost to the battery");
+        g.addCounter("retired_frames", &retired_frames,
+                     "media frames retired at the endurance limit");
     }
 
     void
@@ -74,6 +79,7 @@ struct FaultStats
         torn_blocks.reset();
         media_retries.reset();
         sacrificed_blocks.reset();
+        retired_frames.reset();
     }
 };
 
@@ -129,13 +135,13 @@ class FaultInjector
     void setBatteryBudgetJ(double j) { _battery = BatteryBudget(j); }
 
     /**
-     * Perform one media write of @p data to @p block in @p store,
+     * Perform one media write of @p data to @p block through @p media,
      * sampling the plan's failure probability per attempt. On terminal
      * failure only the first kTornBytes land (a torn block); the block
      * and its intended content are recorded in the fault ledger. A
      * successful write clears any stale ledger entry for the block.
      */
-    MediaWriteOutcome performMediaWrite(BackingStore &store, Addr block,
+    MediaWriteOutcome performMediaWrite(MediaBackend &media, Addr block,
                                         const BlockData &data);
 
     /** --- Attempt-level media API (event-driven WPQ retirement) ------- */
@@ -151,13 +157,8 @@ class FaultInjector
     void noteRetry() { ++_stats->media_retries; }
 
     /** Terminal failure: commit the torn half-block and ledger the rest. */
-    void
-    commitTorn(BackingStore &store, Addr block, const BlockData &intended)
-    {
-        store.write(block, intended.bytes.data(), kTornBytes);
-        _damaged[block] = intended;
-        ++_stats->torn_blocks;
-    }
+    void commitTorn(MediaBackend &media, Addr block,
+                    const BlockData &intended);
 
     /** A clean full-block write landed: supersede any old damage. */
     void noteCleanWrite(Addr block) { _damaged.erase(block); }
@@ -171,9 +172,38 @@ class FaultInjector
     }
 
     /** A crash-time sub-block store-buffer write was sacrificed. */
+    void noteSacrificedBytes(MediaBackend &media, Addr addr,
+                             const void *src, unsigned size);
+
+    /** --- Endurance retirements --------------------------------------- */
+
+    /**
+     * One physical media frame retired at the endurance limit, filed by
+     * an FTL backend (see FtlMedia::freeOrRetire). Retirements are
+     * *graceful* — the data migrated before the frame left service — so
+     * they live in their own ledger, not in damagedBlocks(): the
+     * recovery oracle must not treat them as unexplained damage.
+     */
+    struct RetiredFrame
+    {
+        Addr logical;        ///< last logical block the frame held
+        std::uint64_t frame; ///< physical frame id
+        std::uint64_t wear;  ///< programs endured at retirement
+    };
+
+    /** File one endurance retirement into the ledger. */
     void
-    noteSacrificedBytes(const BackingStore &store, Addr addr,
-                        const void *src, unsigned size);
+    noteRetiredFrame(Addr logical, std::uint64_t frame, std::uint64_t wear)
+    {
+        _retired.push_back({logical, frame, wear});
+        ++_stats->retired_frames;
+    }
+
+    /** Endurance retirements in filing order. */
+    const std::vector<RetiredFrame> &retiredFrames() const
+    {
+        return _retired;
+    }
 
     /** --- Fault ledger ------------------------------------------------ */
 
@@ -226,6 +256,9 @@ class FaultInjector
 
     /** block -> content an un-faulted run would have persisted. */
     std::map<Addr, BlockData> _damaged;
+
+    /** Endurance retirements (graceful; separate from _damaged). */
+    std::vector<RetiredFrame> _retired;
 
     FaultStats _own_stats; ///< fallback when no external stats are given
     FaultStats *_stats;

@@ -62,7 +62,7 @@ degradePolicyList()
 std::string
 FaultPlan::toString() const
 {
-    if (!enabled() && trace.empty())
+    if (!enabled() && trace.empty() && media.empty())
         return "none";
 
     FaultPlan defaults;
@@ -94,6 +94,8 @@ FaultPlan::toString() const
         sep() << "trace=" << trace;
     if (policy != defaults.policy)
         sep() << "policy=" << degradePolicyName(policy);
+    if (!media.empty())
+        sep() << "media=" << media;
     if (fault_seed != defaults.fault_seed)
         sep() << "fault_seed=" << fault_seed;
     return os.str();
@@ -127,6 +129,13 @@ FaultPlan::parse(const std::string &token)
         }
         if (key == "policy") {
             plan.policy = parseDegradePolicy(val);
+            continue;
+        }
+        if (key == "media") {
+            if (val != "direct" && val != "ftl")
+                fatal("unknown media kind '%s' (want direct or ftl)",
+                      val.c_str());
+            plan.media = val;
             continue;
         }
         char *end = nullptr;
@@ -175,7 +184,7 @@ FaultPlan::operator==(const FaultPlan &o) const
            recrash_budget_factor == o.recrash_budget_factor &&
            battery_cap_j == o.battery_cap_j &&
            battery_stored_j == o.battery_stored_j && trace == o.trace &&
-           policy == o.policy;
+           policy == o.policy && media == o.media;
 }
 
 std::vector<NamedFaultPlan>

@@ -116,6 +116,13 @@ struct FaultPlan
     /** Graceful-degradation policy at the low-charge warning. */
     DegradePolicy policy = DegradePolicy::None;
 
+    /**
+     * NVMM media backend the run simulates: "" (leave the SystemConfig
+     * default), "direct", or "ftl". Rides in the plan token so an
+     * endurance campaign's repro line selects the same backend.
+     */
+    std::string media;
+
     /** True if any fault channel is active. */
     bool
     enabled() const

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The 64-byte block payload type shared by the memory system.
+ *
+ * Lives in its own header so both sides of the media seam — the
+ * controller (mem/mem_ctrl.hh) and the media backends
+ * (mem/media_backend.hh) — can name it without including each other.
+ */
+
+#ifndef BBB_MEM_BLOCK_DATA_HH
+#define BBB_MEM_BLOCK_DATA_HH
+
+#include <array>
+#include <cstring>
+
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+/** A 64-byte block travelling through the memory system. */
+struct BlockData
+{
+    std::array<unsigned char, kBlockSize> bytes{};
+
+    void
+    copyFrom(const void *src)
+    {
+        std::memcpy(bytes.data(), src, kBlockSize);
+    }
+
+    void
+    copyTo(void *dst) const
+    {
+        std::memcpy(dst, bytes.data(), kBlockSize);
+    }
+};
+
+} // namespace bbb
+
+#endif // BBB_MEM_BLOCK_DATA_HH

@@ -9,8 +9,8 @@ namespace bbb
 {
 
 MemCtrl::MemCtrl(std::string name, const MemConfig &cfg, EventQueue &eq,
-                 BackingStore &store, StatRegistry &stats)
-    : _name(std::move(name)), _cfg(cfg), _eq(eq), _store(store)
+                 MediaBackend &media, StatRegistry &stats)
+    : _name(std::move(name)), _cfg(cfg), _eq(eq), _media(media)
 {
     BBB_ASSERT(_cfg.channels > 0, "controller needs >= 1 channel");
     // A DRAM controller is configured with wpq_entries == 0; give it a
@@ -19,6 +19,10 @@ MemCtrl::MemCtrl(std::string name, const MemConfig &cfg, EventQueue &eq,
     if (_cfg.wpq_entries == 0)
         _cfg.wpq_entries = 64;
     _channel_free.assign(_cfg.channels, 0);
+    _wpq_occupancy = StatHistogram(
+        16, std::max<std::uint64_t>(1, _cfg.wpq_entries / 16));
+
+    _media.attachTiming(this);
 
     StatGroup &g = stats.group(_name);
     g.addCounter("media_reads", &_media_reads, "block reads from media");
@@ -37,6 +41,8 @@ MemCtrl::MemCtrl(std::string name, const MemConfig &cfg, EventQueue &eq,
                  "media writes torn by terminal injected failures");
     g.addAverage("read_latency_ticks", &_read_latency,
                  "average block read latency");
+    g.addHistogram("wpq_occupancy", &_wpq_occupancy,
+                   "WPQ occupancy sampled at each insert and retire");
 }
 
 Tick
@@ -64,7 +70,7 @@ MemCtrl::readBlock(Addr addr, BlockData &out)
         return lat;
     }
 
-    _store.readBlock(block, out.bytes.data());
+    _media.readBlock(block, out.bytes.data());
     // While power is on the controller forwards the intended content of a
     // torn block (the write data lingers in its buffers); the tear only
     // surfaces in the post-crash image. See FaultInjector::intendedContent.
@@ -112,6 +118,7 @@ MemCtrl::enqueueWrite(Addr addr, const BlockData &data)
     _wpq.emplace(seq, std::move(entry));
     _wpq_index.emplace(block, seq);
     ++_wpq_inserts;
+    _wpq_occupancy.sample(_wpq.size());
     scheduleRetire();
     return true;
 }
@@ -128,18 +135,25 @@ MemCtrl::scheduleRetire()
         kv.second.retiring = true;
         ++_retiring;
         std::uint64_t seq = kv.first;
+        std::uint64_t epoch = _wpq_epoch;
         Tick start =
             reserveChannel(channelOf(kv.second.addr), _cfg.write_occupancy);
         _eq.schedule(
             start + _cfg.write_latency,
-            [this, seq]() { completeRetire(seq); },
+            [this, seq, epoch]() { completeRetire(seq, epoch); },
             EventPriority::MemResponse);
     }
 }
 
 void
-MemCtrl::completeRetire(std::uint64_t seq)
+MemCtrl::completeRetire(std::uint64_t seq, std::uint64_t epoch)
 {
+    // A crash handover (takeWpqForCrash) or synchronous drain cleared
+    // the queue after this event was scheduled: the entry is gone and
+    // the channel state was reset. The event is simply stale.
+    if (epoch != _wpq_epoch)
+        return;
+
     auto it = _wpq.find(seq);
     BBB_ASSERT(it != _wpq.end(), "retired WPQ entry vanished");
     WpqEntry &e = it->second;
@@ -157,25 +171,26 @@ MemCtrl::completeRetire(std::uint64_t seq)
             reserveChannel(channelOf(e.addr), _cfg.write_occupancy);
             _eq.schedule(
                 _eq.now() + backoff + _cfg.write_latency,
-                [this, seq]() { completeRetire(seq); },
+                [this, seq, epoch]() { completeRetire(seq, epoch); },
                 EventPriority::MemResponse);
             return;
         }
         // Retries exhausted: the media tears the block, persisting only
         // its first half. The entry leaves the WPQ -- the durability
         // guarantee is broken, which is exactly what the fault models.
-        _faults->commitTorn(_store, e.addr, e.data);
+        _faults->commitTorn(_media, e.addr, e.data);
         ++_torn_writes;
         ++_media_writes;
         _bytes_written += FaultInjector::kTornBytes;
         _wpq_index.erase(e.addr);
         _wpq.erase(it);
         --_retiring;
+        _wpq_occupancy.sample(_wpq.size());
         scheduleRetire();
         return;
     }
 
-    _store.writeBlock(e.addr, e.data.bytes.data());
+    _media.commitBlock(e.addr, e.data);
     if (_faults)
         _faults->noteCleanWrite(e.addr);
     ++_media_writes;
@@ -183,6 +198,7 @@ MemCtrl::completeRetire(std::uint64_t seq)
     _wpq_index.erase(e.addr);
     _wpq.erase(it);
     --_retiring;
+    _wpq_occupancy.sample(_wpq.size());
     scheduleRetire();
 }
 
@@ -203,7 +219,7 @@ MemCtrl::forceWrite(Addr addr, const BlockData &data)
         // The caller already charges the bypass stall as latency; the
         // retry backoff folds into that synchronous cost.
         MediaWriteOutcome out =
-            _faults->performMediaWrite(_store, block, data);
+            _faults->performMediaWrite(_media, block, data);
         _media_retry_writes += out.retries;
         ++_media_writes;
         if (out.torn) {
@@ -214,7 +230,7 @@ MemCtrl::forceWrite(Addr addr, const BlockData &data)
         }
         return;
     }
-    _store.writeBlock(block, data.bytes.data());
+    _media.commitBlock(block, data);
     ++_media_writes;
     _bytes_written += kBlockSize;
 }
@@ -228,7 +244,7 @@ MemCtrl::peekBlock(Addr addr, BlockData &out) const
         out = _wpq.at(it->second).data;
         return;
     }
-    _store.readBlock(block, out.bytes.data());
+    _media.readBlock(block, out.bytes.data());
     if (_faults) {
         if (const BlockData *intended = _faults->intendedContent(block))
             out = *intended;
@@ -240,7 +256,7 @@ MemCtrl::drainAllToMedia()
 {
     std::size_t n = 0;
     for (const auto &kv : _wpq) {
-        _store.writeBlock(kv.second.addr, kv.second.data.bytes.data());
+        _media.commitBlock(kv.second.addr, kv.second.data);
         ++_media_writes;
         _bytes_written += kBlockSize;
         ++n;
@@ -248,6 +264,7 @@ MemCtrl::drainAllToMedia()
     _wpq.clear();
     _wpq_index.clear();
     _retiring = 0;
+    ++_wpq_epoch; // orphan any still-scheduled retirements
     return n;
 }
 
@@ -262,6 +279,10 @@ MemCtrl::takeWpqForCrash()
     _wpq.clear();
     _wpq_index.clear();
     _retiring = 0;
+    ++_wpq_epoch; // orphan any still-scheduled retirements
+    // A reseeded post-crash controller must not inherit channel
+    // reservations from writes that no longer exist.
+    _channel_free.assign(_cfg.channels, 0);
     return out;
 }
 

@@ -8,6 +8,13 @@
  * retire from the WPQ through per-channel bandwidth; blocks are interleaved
  * across channels at cache-block granularity.
  *
+ * The controller never touches the backing store itself: every media
+ * commit and read goes through its MediaBackend (mem/media_backend.hh),
+ * which is a pass-through (DirectMedia) or an FTL-style endurance model
+ * (FtlMedia). The controller lends the backend its per-channel timing
+ * (MediaTiming), so backend-generated background traffic contends with
+ * demand writes for the same bandwidth.
+ *
  * The same class models the DRAM controller (no WPQ persistence semantics,
  * writes are accepted unconditionally and retire through channel timing).
  */
@@ -15,14 +22,12 @@
 #ifndef BBB_MEM_MEM_CTRL_HH
 #define BBB_MEM_MEM_CTRL_HH
 
-#include <array>
-#include <cstring>
 #include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "mem/backing_store.hh"
+#include "mem/media_backend.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -33,24 +38,6 @@ namespace bbb
 
 class FaultInjector;
 
-/** A 64-byte block travelling through the memory system. */
-struct BlockData
-{
-    std::array<unsigned char, kBlockSize> bytes{};
-
-    void
-    copyFrom(const void *src)
-    {
-        std::memcpy(bytes.data(), src, kBlockSize);
-    }
-
-    void
-    copyTo(void *dst) const
-    {
-        std::memcpy(dst, bytes.data(), kBlockSize);
-    }
-};
-
 /**
  * One memory controller (DRAM or NVMM).
  *
@@ -59,11 +46,11 @@ struct BlockData
  * Reads are modelled as latency returned to the caller; media writes are
  * asynchronous retirements from the WPQ.
  */
-class MemCtrl
+class MemCtrl : private MediaTiming
 {
   public:
     MemCtrl(std::string name, const MemConfig &cfg, EventQueue &eq,
-            BackingStore &store, StatRegistry &stats);
+            MediaBackend &media, StatRegistry &stats);
 
     /** --- Read path ------------------------------------------------- */
 
@@ -106,6 +93,9 @@ class MemCtrl
     /** Number of blocks currently pending in the WPQ. */
     std::size_t wpqOccupancy() const { return _wpq.size(); }
 
+    /** The media backend this controller commits through. */
+    MediaBackend &media() { return _media; }
+
     /** --- Fault injection -------------------------------------------- */
 
     /**
@@ -130,6 +120,12 @@ class MemCtrl
      * blocks in FIFO (oldest-first) order and clear the queue. The
      * engine owns the budgeted, fault-injected drain of these records;
      * it reports each media commit back through creditCrashCommit().
+     *
+     * Also resets the in-flight retirement bookkeeping: the epoch bump
+     * invalidates every scheduled completeRetire() (their entries are
+     * gone — the crash engine owns them now), and the channel
+     * next-free ticks are cleared so a reseeded post-crash controller
+     * never inherits stale channel state.
      */
     std::vector<std::pair<Addr, BlockData>> takeWpqForCrash();
 
@@ -153,20 +149,36 @@ class MemCtrl
     unsigned
     channelOf(Addr addr) const
     {
-        return static_cast<unsigned>((addr >> kBlockShift) %
-                                     _cfg.channels);
+        return mediaChannelOf(addr, _cfg.channels);
     }
 
     /** Reserve @p busy ticks on @p channel starting no earlier than now;
-     *  returns the completion tick. */
+     *  returns the start tick. */
     Tick reserveChannel(unsigned channel, Tick busy);
+
+    /** MediaTiming: lend the backend the same channel model. */
+    Tick
+    reserveMediaChannel(unsigned channel, Tick busy) override
+    {
+        return reserveChannel(channel, busy);
+    }
+    Tick mediaReadOccupancy() const override { return _cfg.read_occupancy; }
+    Tick mediaWriteOccupancy() const override
+    {
+        return _cfg.write_occupancy;
+    }
 
     /** Start media writes for the oldest pending entries, one per free
      *  channel slot. */
     void scheduleRetire();
 
-    /** Media write for entry @p seq finished: commit it to the store. */
-    void completeRetire(std::uint64_t seq);
+    /**
+     * Media write for entry @p seq finished: commit it through the
+     * backend. @p epoch is the WPQ epoch the write was scheduled in; a
+     * crash handover bumps the epoch, so a stale event returns without
+     * touching the (reseeded) queue.
+     */
+    void completeRetire(std::uint64_t seq, std::uint64_t epoch);
 
     struct WpqEntry
     {
@@ -180,7 +192,7 @@ class MemCtrl
     std::string _name;
     MemConfig _cfg;
     EventQueue &_eq;
-    BackingStore &_store;
+    MediaBackend &_media;
     FaultInjector *_faults = nullptr;
 
     /**
@@ -192,6 +204,10 @@ class MemCtrl
     std::unordered_map<Addr, std::uint64_t> _wpq_index;
     std::uint64_t _next_seq = 0;
     unsigned _retiring = 0;
+
+    /** Bumped whenever the WPQ is cleared wholesale (crash handover /
+     *  synchronous drain); orphans any still-scheduled retirements. */
+    std::uint64_t _wpq_epoch = 0;
 
     std::vector<Tick> _channel_free;
 
@@ -205,6 +221,7 @@ class MemCtrl
     StatCounter _media_retry_writes;
     StatCounter _torn_writes;
     StatAverage _read_latency;
+    StatHistogram _wpq_occupancy;
 };
 
 } // namespace bbb

@@ -295,6 +295,10 @@ runLifetimeSample(const LifetimeSample &sample)
 
         SystemConfig cfg = sample.cfg;
         cfg.seed = sys_seed;
+        // Repro lines carry plan.toString(), so media=ftl rides in the
+        // plan token and every round rebuilds the same backend.
+        if (!sample.plan.media.empty())
+            cfg.media.kind = mediaKindFromName(sample.plan.media);
         System sys(cfg);
         FaultPlan plan = sample.plan;
         plan.fault_seed = fault_seed;

@@ -49,4 +49,37 @@ drainPolicyName(DrainPolicy p)
     return "unknown";
 }
 
+DrainPolicy
+drainPolicyFromName(const std::string &name)
+{
+    for (DrainPolicy p :
+         {DrainPolicy::Fcfs, DrainPolicy::Lrw, DrainPolicy::Random}) {
+        if (name == drainPolicyName(p))
+            return p;
+    }
+    fatal("unknown drain policy '%s'", name.c_str());
+}
+
+const char *
+mediaKindName(MediaKind k)
+{
+    switch (k) {
+      case MediaKind::Direct:
+        return "direct";
+      case MediaKind::Ftl:
+        return "ftl";
+    }
+    return "unknown";
+}
+
+MediaKind
+mediaKindFromName(const std::string &name)
+{
+    for (MediaKind k : {MediaKind::Direct, MediaKind::Ftl}) {
+        if (name == mediaKindName(k))
+            return k;
+    }
+    fatal("unknown media kind '%s'", name.c_str());
+}
+
 } // namespace bbb

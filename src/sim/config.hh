@@ -106,6 +106,55 @@ enum class DrainPolicy
 /** Printable drain-policy name. */
 const char *drainPolicyName(DrainPolicy p);
 
+/** Parse a drainPolicyName() token; fatal()s on an unknown name. */
+DrainPolicy drainPolicyFromName(const std::string &name);
+
+/** Which media model serves the NVMM controller (mem/media_backend.hh). */
+enum class MediaKind
+{
+    /** Pass-through to the backing store (the historical device). */
+    Direct,
+    /** FTL-style endurance model: wear, remap, migration (mem/ftl/). */
+    Ftl,
+};
+
+/** Printable media-kind name ("direct" / "ftl"). */
+const char *mediaKindName(MediaKind k);
+
+/** Parse a mediaKindName() token; fatal()s on an unknown name. */
+MediaKind mediaKindFromName(const std::string &name);
+
+/**
+ * The NVMM media model behind the controller. Only `kind` changes what
+ * the machine does; the remaining knobs shape the FTL's endurance
+ * model and its lifetime projection (media.* metrics).
+ */
+struct MediaModelConfig
+{
+    MediaKind kind = MediaKind::Direct;
+
+    /** Programs a physical frame endures before it must be retired. */
+    std::uint64_t endurance_cycles = 100000;
+
+    /**
+     * Static wear-leveling trigger: migrate the coldest mapped frame
+     * once the global max wear exceeds its wear by this many programs.
+     */
+    unsigned wear_delta = 8;
+
+    /** Demand programs between background wear-leveling checks. */
+    unsigned wl_interval = 32;
+
+    /** Rated drive-writes-per-day, for the lifetime projection. */
+    double dwpd_rating = 1.0;
+
+    /** Cached-mapping-table entries (hit/miss telemetry). */
+    unsigned cmt_entries = 256;
+
+    /** Blocks covered by one translation page (GTD granularity). */
+    unsigned pmt_segment_blocks = 1024;
+};
+
 /** bbPB geometry and drain policy (Section III-F). */
 struct BbpbConfig
 {
@@ -219,6 +268,9 @@ struct SystemConfig
                    nsToTicks(5), 4, 0};
     MemConfig nvmm{8_GiB, nsToTicks(150), nsToTicks(500), nsToTicks(10),
                    nsToTicks(28), 4, 64};
+
+    /** NVMM media model (DirectMedia pass-through by default). */
+    MediaModelConfig media{};
 
     PersistMode mode = PersistMode::BbbMemSide;
 

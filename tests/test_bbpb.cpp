@@ -26,12 +26,13 @@ struct Rig
     SystemConfig cfg;
     EventQueue eq;
     BackingStore store;
+    DirectMedia media{store};
     StatRegistry stats;
     MemCtrl nvmm;
 
     explicit Rig(unsigned entries = 8, double threshold = 0.75)
         : cfg(makeCfg(entries, threshold)),
-          nvmm("nvmm", cfg.nvmm, eq, store, stats)
+          nvmm("nvmm", cfg.nvmm, eq, media, stats)
     {
     }
 

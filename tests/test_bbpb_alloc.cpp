@@ -86,12 +86,13 @@ struct Rig
     SystemConfig cfg;
     EventQueue eq;
     BackingStore store;
+    DirectMedia media{store};
     StatRegistry stats;
     MemCtrl nvmm;
 
     explicit Rig(unsigned entries, double threshold)
         : cfg(makeCfg(entries, threshold)),
-          nvmm("nvmm", cfg.nvmm, eq, store, stats)
+          nvmm("nvmm", cfg.nvmm, eq, media, stats)
     {
         eq.reserve(cfg.eventCapacityHint());
     }

@@ -77,13 +77,14 @@ TEST(ConfigSweep, MoreChannelsRaiseWriteThroughput)
     auto drain_time = [](unsigned channels) {
         EventQueue eq;
         BackingStore store;
+        DirectMedia media(store);
         StatRegistry stats;
         MemConfig mc;
         mc.channels = channels;
         mc.wpq_entries = 64;
         mc.write_latency = nsToTicks(500);
         mc.write_occupancy = nsToTicks(28);
-        MemCtrl ctrl("nvmm", mc, eq, store, stats);
+        MemCtrl ctrl("nvmm", mc, eq, media, stats);
         BlockData d;
         for (Addr i = 0; i < 64; ++i)
             EXPECT_TRUE(ctrl.enqueueWrite(i * kBlockSize, d));

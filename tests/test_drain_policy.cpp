@@ -20,12 +20,13 @@ struct Rig
     SystemConfig cfg;
     EventQueue eq;
     BackingStore store;
+    DirectMedia media{store};
     StatRegistry stats;
     MemCtrl nvmm;
 
     explicit Rig(DrainPolicy policy, unsigned entries = 4)
         : cfg(makeCfg(policy, entries)),
-          nvmm("nvmm", cfg.nvmm, eq, store, stats)
+          nvmm("nvmm", cfg.nvmm, eq, media, stats)
     {
     }
 

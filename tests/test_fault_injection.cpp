@@ -111,9 +111,10 @@ TEST(FaultInjector, TerminalMediaFailureTearsTheBlock)
     plan.media_retries = 2;
     FaultInjector inj(plan);
     BackingStore store;
+    DirectMedia media(store);
     store.writeBlock(0, filled(0xaa).bytes.data()); // old media content
 
-    MediaWriteOutcome out = inj.performMediaWrite(store, 0, filled(0xbb));
+    MediaWriteOutcome out = inj.performMediaWrite(media, 0, filled(0xbb));
     EXPECT_TRUE(out.torn);
     EXPECT_EQ(out.retries, 2u);
     EXPECT_GT(out.backoff, 0u);
@@ -137,7 +138,8 @@ TEST(FaultInjector, CleanWriteSupersedesLedgeredDamage)
     plan.media_fail_p = 0.5;
     FaultInjector inj(plan);
     BackingStore store;
-    inj.commitTorn(store, 0, filled(0x11));
+    DirectMedia media(store);
+    inj.commitTorn(media, 0, filled(0x11));
     ASSERT_EQ(inj.damagedBlocks().size(), 1u);
     store.writeBlock(0, filled(0x22).bytes.data());
     inj.noteCleanWrite(0);
@@ -148,13 +150,14 @@ TEST(MemCtrl, InjectedMediaFailuresRetryWithBackoffThenTear)
 {
     EventQueue eq;
     BackingStore store;
+    DirectMedia media(store);
     StatRegistry stats;
     MemConfig mcfg;
     mcfg.write_latency = nsToTicks(500);
     mcfg.write_occupancy = nsToTicks(28);
     mcfg.channels = 1;
     mcfg.wpq_entries = 4;
-    MemCtrl mc("nvmm", mcfg, eq, store, stats);
+    MemCtrl mc("nvmm", mcfg, eq, media, stats);
 
     FaultPlan plan;
     plan.media_fail_p = 1.0;

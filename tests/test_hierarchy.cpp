@@ -97,6 +97,8 @@ struct Rig
     AddrMap map;
     EventQueue eq;
     BackingStore store;
+    DirectMedia dram_media{store};
+    DirectMedia nvmm_media{store};
     StatRegistry stats;
     MemCtrl dram;
     MemCtrl nvmm;
@@ -105,8 +107,8 @@ struct Rig
 
     explicit Rig(unsigned cores = 2)
         : cfg(makeCfg(cores)), map(AddrMap::fromConfig(cfg)),
-          dram("dram", cfg.dram, eq, store, stats),
-          nvmm("nvmm", cfg.nvmm, eq, store, stats),
+          dram("dram", cfg.dram, eq, dram_media, stats),
+          nvmm("nvmm", cfg.nvmm, eq, nvmm_media, stats),
           hier(cfg, map, eq, dram, nvmm, stats)
     {
         hier.setBackend(&backend);
@@ -291,9 +293,11 @@ TEST(Hierarchy, SkippedWritebackDropsDirtyPersistentVictim)
     AddrMap map = AddrMap::fromConfig(cfg);
     EventQueue eq;
     BackingStore store;
+    DirectMedia dram_media(store);
+    DirectMedia nvmm_media(store);
     StatRegistry stats;
-    MemCtrl dram("dram", cfg.dram, eq, store, stats);
-    MemCtrl nvmm("nvmm", cfg.nvmm, eq, store, stats);
+    MemCtrl dram("dram", cfg.dram, eq, dram_media, stats);
+    MemCtrl nvmm("nvmm", cfg.nvmm, eq, nvmm_media, stats);
     CacheHierarchy hier(cfg, map, eq, dram, nvmm, stats);
     MemSideBbpb bbpb(cfg, eq, nvmm, stats);
     hier.setBackend(&bbpb);

@@ -23,6 +23,7 @@ struct Ctx
 {
     EventQueue eq;
     BackingStore store;
+    DirectMedia media{store};
     StatRegistry stats;
     MemConfig cfg;
 
@@ -39,7 +40,7 @@ struct Ctx
     MemCtrl
     make()
     {
-        return MemCtrl("nvmm", cfg, eq, store, stats);
+        return MemCtrl("nvmm", cfg, eq, media, stats);
     }
 };
 
@@ -282,4 +283,53 @@ TEST(MemCtrl, TakeWpqForCrashReturnsFifoOrderAndClears)
     std::uint64_t writes_before = mc.mediaWrites();
     mc.creditCrashCommit();
     EXPECT_EQ(mc.mediaWrites(), writes_before + 1);
+}
+
+TEST(MemCtrl, CrashTakeoverCancelsInFlightRetirements)
+{
+    // Regression: takeWpqForCrash() used to leave the already-scheduled
+    // retirement events and channel reservations behind. The stale events
+    // then fired against an empty WPQ (assert) or double-committed blocks
+    // the crash engine had claimed, and the phantom channel occupancy
+    // delayed post-crash writes.
+    Ctx ctx;
+    ctx.cfg.channels = 1;
+    MemCtrl mc = ctx.make();
+    ASSERT_TRUE(mc.enqueueWrite(0, pattern(1)));
+    ASSERT_TRUE(mc.enqueueWrite(kBlockSize, pattern(2)));
+    // Retirements are in flight at 500 ns and 528 ns when the crash
+    // engine seizes the queue.
+    auto records = mc.takeWpqForCrash();
+    ASSERT_EQ(records.size(), 2u);
+
+    // A post-crash write enqueued at t=0 must start immediately: the
+    // epoch bump invalidates the stale events and the channel bookkeeping
+    // was reset, so its retirement lands at 500 ns, not 556 ns behind the
+    // phantom occupancy. Final queue time is the last stale (no-op)
+    // event at 528 ns.
+    ASSERT_TRUE(mc.enqueueWrite(2 * kBlockSize, pattern(3)));
+    ctx.eq.run();
+    EXPECT_EQ(ctx.eq.now(), nsToTicks(528));
+    EXPECT_EQ(mc.mediaWrites(), 1u);
+    EXPECT_EQ(ctx.store.read64(2 * kBlockSize), 0x0303030303030303ull);
+    // The seized blocks never leaked to media behind the crash engine.
+    EXPECT_EQ(ctx.store.read64(0), 0u);
+    EXPECT_EQ(ctx.store.read64(kBlockSize), 0u);
+}
+
+TEST(MemCtrl, WpqOccupancyHistogramSamplesEveryEnqueue)
+{
+    Ctx ctx;
+    MemCtrl mc = ctx.make();
+    for (Addr i = 0; i < 4; ++i)
+        ASSERT_TRUE(mc.enqueueWrite(i * kBlockSize, pattern(1)));
+    ctx.eq.run();
+
+    // Occupancy is sampled after every insert (1, 2, 3, 4 entries) and
+    // again as each retirement drains the queue (3, 2, 1, 0).
+    MetricSnapshot snap = ctx.stats.snapshot();
+    EXPECT_EQ(snap.count("nvmm.wpq_occupancy.samples"), 8u);
+    EXPECT_EQ(snap.count("nvmm.wpq_occupancy.sum"),
+              (1u + 2 + 3 + 4) + (3 + 2 + 1 + 0));
+    EXPECT_EQ(snap.real("nvmm.wpq_occupancy.max"), 4.0);
 }

@@ -29,6 +29,8 @@ struct Rig
     AddrMap map;
     EventQueue eq;
     BackingStore store;
+    DirectMedia dram_media{store};
+    DirectMedia nvmm_media{store};
     StatRegistry stats;
     MemCtrl dram;
     MemCtrl nvmm;
@@ -37,8 +39,8 @@ struct Rig
 
     Rig()
         : cfg(makeCfg()), map(AddrMap::fromConfig(cfg)),
-          dram("dram", cfg.dram, eq, store, stats),
-          nvmm("nvmm", cfg.nvmm, eq, store, stats),
+          dram("dram", cfg.dram, eq, dram_media, stats),
+          nvmm("nvmm", cfg.nvmm, eq, nvmm_media, stats),
           hier(cfg, map, eq, dram, nvmm, stats),
           bbpb(cfg, eq, nvmm, stats)
     {

@@ -11,7 +11,11 @@ by file name, so successive committed baselines read as a trend:
 
 Reports written under BBB_REPORT_CANONICAL=1 carry a zeroed host
 section; their rows print as '-' (the canonical tree carries no host
-timing by design). Standard library only.
+timing by design). The trailing ``wr_amp`` column is the mean NVMM
+write amplification (``media.write_amplification``) across the
+report's experiments — 1.0 on the direct pass-through backend, above
+it once the FTL wear model migrates; '-' for reports predating the
+media seam. Standard library only.
 
 Exit status: 0 on success, 2 on usage/IO errors.
 """
@@ -35,6 +39,22 @@ COLUMNS = [
 ]
 
 
+def write_amplification(doc):
+    """Mean media.write_amplification across the report's experiments."""
+    values = []
+    for exp in doc.get("experiments", []):
+        media = exp.get("metrics", {}).get("media") \
+            if isinstance(exp, dict) else None
+        if isinstance(media, dict):
+            wa = media.get("write_amplification")
+            if isinstance(wa, (int, float)) and not isinstance(wa, bool) \
+                    and wa > 0:
+                values.append(float(wa))
+    if not values:
+        return "-"
+    return "{:.4f}".format(sum(values) / len(values))
+
+
 def load_host(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -46,7 +66,7 @@ def load_host(path):
         print(f"error: {path}: not a bbb-bench-report (no host section)",
               file=sys.stderr)
         sys.exit(2)
-    return doc.get("bench", "?"), doc["host"]
+    return doc.get("bench", "?"), doc["host"], write_amplification(doc)
 
 
 def cell(host, key, fmt):
@@ -76,12 +96,13 @@ def main(argv):
 
     rows = []
     for path in paths:
-        bench, host = load_host(path)
+        bench, host, wr_amp = load_host(path)
         row = [os.path.basename(path), bench]
         row += [cell(host, key, fmt) for _, key, fmt in COLUMNS]
+        row.append(wr_amp)
         rows.append(row)
 
-    headers = ["file", "bench"] + [h for h, _, _ in COLUMNS]
+    headers = ["file", "bench"] + [h for h, _, _ in COLUMNS] + ["wr_amp"]
     widths = [max(len(h), *(len(r[i]) for r in rows))
               for i, h in enumerate(headers)]
     def line(values):
