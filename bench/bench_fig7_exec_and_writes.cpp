@@ -48,6 +48,7 @@ main(int argc, char **argv)
     unsigned shards = bbbench::shardsArg(argc, argv,
                                          specs.front().cfg.num_cores);
     bbbench::applyShards(specs, shards);
+    bbbench::applySpec(specs, bbbench::specArg(argc, argv, shards));
     rep.noteShards(shards);
     std::vector<ExperimentResult> results =
         bbbench::runGrid(specs, jobs, &rep);

@@ -1,17 +1,20 @@
 /**
  * @file
  * Sharded-kernel scaling microbench: one simulation swept across
- * `--shards` values and core counts.
+ * `--shards` values and core counts, with the speculative load probe
+ * (`--spec`, sim/shard.hh) measured on and off at every width.
  *
- * For each (cores, shards) point the same hashmap run is simulated on a
- * sharded kernel of that width. The bench asserts the determinism
- * contract in-process — every shard width must produce a byte-identical
- * canonical metric snapshot for its core count — and reports per-point
- * host wall clock plus the deterministic simulation results
- * (exec ticks, ops). Wall-clock leaves are host timings and are omitted
- * in canonical mode, like bench_micro's.
+ * For each (cores, shards, spec) cell the same hashmap run is simulated
+ * on a sharded kernel of that width. The bench asserts the determinism
+ * contract in-process — every cell must produce a byte-identical
+ * canonical metric snapshot for its core count, speculation included —
+ * and reports per-cell host wall clock plus the deterministic
+ * simulation results (exec ticks, ops) and the commit-lane telemetry
+ * the probe exists to improve (commit_stall_ns, spec hit rate).
+ * Wall-clock leaves are host timings and are omitted in canonical mode,
+ * like bench_micro's.
  *
- * Flags: --fast, --json PATH, --shards N (cap of the sweep, default 4;
+ * Flags: --fast, --json PATH, --shards N (cap of the sweep, default 8;
  * the sweep runs 1..min(N, cores) widths per core count).
  */
 
@@ -29,11 +32,12 @@ namespace
 {
 
 SystemConfig
-scalingCfg(unsigned cores, unsigned shards)
+scalingCfg(unsigned cores, unsigned shards, bool spec)
 {
     SystemConfig cfg = benchConfig(PersistMode::BbbMemSide, 32);
     cfg.num_cores = cores;
     cfg.shards = shards;
+    cfg.spec = spec;
     return cfg;
 }
 
@@ -41,30 +45,43 @@ struct Point
 {
     unsigned cores = 0;
     unsigned shards = 0;
+    bool spec = false;
     double wall_s = 0.0;
     Tick exec_ticks = 0;
     std::uint64_t ops = 0;
+    std::uint64_t commit_stall_ns = 0;
+    std::uint64_t spec_hits = 0;
+    std::uint64_t spec_misses = 0;
+    std::uint64_t squashes = 0;
     std::string canonical_json;
 };
 
 Point
-runPoint(unsigned cores, unsigned shards, const WorkloadParams &params)
+runPoint(unsigned cores, unsigned shards, bool spec,
+         const WorkloadParams &params)
 {
     Point pt;
     pt.cores = cores;
     pt.shards = shards;
-    System sys(scalingCfg(cores, shards));
+    pt.spec = spec;
+    System sys(scalingCfg(cores, shards, spec));
     auto wl = makeWorkload("hashmap", params);
     wl->install(sys);
     pt.wall_s = timedSeconds([&] { sys.run(); });
     pt.exec_ticks = sys.executionTime();
     MetricSnapshot snap = sys.snapshotMetrics();
     pt.ops = snap.count("sim.ops");
+    if (ShardRuntime *rt = sys.shardRuntime()) {
+        pt.commit_stall_ns = rt->commitStallNs();
+        pt.spec_hits = rt->specHits();
+        pt.spec_misses = rt->specMisses();
+        pt.squashes = rt->squashes();
+    }
     // The determinism witness: everything except the host-rate leaves
     // and the sim.shard group, which describe the host run. Strip them
     // the same way canonical reports do — by comparing the snapshot of
     // a machine whose deterministic leaves alone differ if sharding
-    // perturbed the simulation.
+    // (or speculation) perturbed the simulation.
     MetricSnapshot canon;
     canon.merge(snap, "");
     canon.setReal("sim.host_seconds", 0.0);
@@ -74,6 +91,10 @@ runPoint(unsigned cores, unsigned shards, const WorkloadParams &params)
     canon.setCount("sim.shard.quantum_ticks", 0);
     canon.setCount("sim.shard.barriers", 0);
     canon.setCount("sim.shard.commit_stall_ns", 0);
+    canon.setCount("sim.shard.spec_hits", 0);
+    canon.setCount("sim.shard.spec_misses", 0);
+    canon.setCount("sim.shard.squashes", 0);
+    canon.setCount("sim.shard.validate_ns", 0);
     // Zero one leaf per possible shard so every width carries the same
     // leaf set (widths narrower than `cores` just gain zero leaves).
     for (unsigned s = 0; s < cores; ++s)
@@ -91,7 +112,7 @@ main(int argc, char **argv)
     std::string json = bbbench::jsonPathArg(argc, argv);
     unsigned max_shards = bbbench::shardsArg(argc, argv);
     if (max_shards < 2)
-        max_shards = 4;
+        max_shards = 8;
 
     WorkloadParams params = bbbench::shapedParams(fast, 2000, 20000);
 
@@ -107,9 +128,10 @@ main(int argc, char **argv)
                                             : std::vector<unsigned>{4, 8};
 
     bbbench::banner("Sharded-kernel scaling: host wall clock per "
-                    "(cores, shards) point");
-    std::printf("%6s %7s %10s %14s %12s  %s\n", "cores", "shards",
-                "wall_s", "exec_us", "sim_ops", "identical");
+                    "(cores, shards, spec) cell");
+    std::printf("%6s %7s %5s %10s %14s %12s %10s %9s  %s\n", "cores",
+                "shards", "spec", "wall_s", "exec_us", "sim_ops",
+                "stall_ms", "hit_rate", "identical");
 
     double wall_total = 0.0;
     std::uint64_t ops_total = 0;
@@ -118,40 +140,63 @@ main(int argc, char **argv)
         Point base;
         for (unsigned shards = 1; shards <= max_shards && shards <= cores;
              ++shards) {
-            Point pt = runPoint(cores, shards, params);
-            wall_total += pt.wall_s;
-            ops_total += pt.ops;
-            bool same =
-                shards == 1 || pt.canonical_json == base.canonical_json;
-            if (shards == 1)
-                base = pt;
-            if (!same) {
-                std::fprintf(stderr,
-                             "FAIL: %u-core snapshot diverges at "
-                             "--shards %u\n",
-                             cores, shards);
-                status = 1;
-            }
-            std::printf("%6u %7u %10.3f %14.1f %12llu  %s\n", cores,
-                        shards, pt.wall_s,
-                        ticksToNs(pt.exec_ticks) / 1000.0,
-                        (unsigned long long)pt.ops,
-                        same ? "yes" : "NO");
+            // Speculation is meaningful only with worker shards: width 1
+            // is a single inline cell, wider widths an off/on pair.
+            std::vector<bool> spec_cells =
+                shards == 1 ? std::vector<bool>{false}
+                            : std::vector<bool>{false, true};
+            for (bool spec : spec_cells) {
+                Point pt = runPoint(cores, shards, spec, params);
+                wall_total += pt.wall_s;
+                ops_total += pt.ops;
+                bool same = shards == 1 ||
+                            pt.canonical_json == base.canonical_json;
+                if (shards == 1)
+                    base = pt;
+                if (!same) {
+                    std::fprintf(stderr,
+                                 "FAIL: %u-core snapshot diverges at "
+                                 "--shards %u --spec %s\n",
+                                 cores, shards, spec ? "on" : "off");
+                    status = 1;
+                }
+                std::uint64_t probes = pt.spec_hits + pt.spec_misses;
+                double hit_rate =
+                    probes ? double(pt.spec_hits) / double(probes) : 0.0;
+                std::printf(
+                    "%6u %7u %5s %10.3f %14.1f %12llu %10.3f %9.3f  %s\n",
+                    cores, shards, shards == 1 ? "-" : (spec ? "on" : "off"),
+                    pt.wall_s, ticksToNs(pt.exec_ticks) / 1000.0,
+                    (unsigned long long)pt.ops,
+                    double(pt.commit_stall_ns) * 1e-6, hit_rate,
+                    same ? "yes" : "NO");
 
-            std::string label = "c" + std::to_string(cores) + ".s" +
-                                std::to_string(shards);
-            // Deterministic leaves only for shards 1 (the reference);
-            // host wall clock per point is canonical-omitted.
-            if (shards == 1) {
+                // Deterministic per-cell leaves: every cell's exec/ops
+                // must match the committed width-1 values, so the
+                // baseline diff re-checks byte-neutrality out of
+                // process too. Width 1 keeps its historical flat label;
+                // wider cells split into an off/on pair.
+                std::string label =
+                    "c" + std::to_string(cores) + ".s" +
+                    std::to_string(shards) +
+                    (shards == 1 ? "" : (spec ? ".on" : ".off"));
                 rep.measured().setCount("exec_ticks." + label,
                                         pt.exec_ticks);
                 rep.measured().setCount("sim_ops." + label, pt.ops);
-            }
-            if (!canonical) {
-                rep.measured().setReal("wall_s." + label, pt.wall_s);
-                rep.measured().setReal(
-                    "speedup_x." + label,
-                    pt.wall_s > 0.0 ? base.wall_s / pt.wall_s : 0.0);
+                if (!canonical) {
+                    rep.measured().setReal("wall_s." + label, pt.wall_s);
+                    rep.measured().setReal(
+                        "speedup_x." + label,
+                        pt.wall_s > 0.0 ? base.wall_s / pt.wall_s : 0.0);
+                    rep.measured().setCount(
+                        "commit_stall_ns." + label, pt.commit_stall_ns);
+                    rep.measured().setCount("spec_hits." + label,
+                                            pt.spec_hits);
+                    rep.measured().setCount("spec_misses." + label,
+                                            pt.spec_misses);
+                    rep.measured().setCount("squashes." + label,
+                                            pt.squashes);
+                }
             }
         }
     }

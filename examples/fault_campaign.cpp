@@ -52,7 +52,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--workloads NAME[,NAME...]] [--points N] [--ops N]\n"
         "          [--initial N] [--campaign-seed N] [--jobs N]\n"
-        "          [--shards N] [--battery-fraction F] [--media direct|ftl]\n"
+        "          [--shards N] [--spec on|off] [--battery-fraction F]\n"
+        "          [--media direct|ftl]\n"
         "          [--verbose] [--json PATH]\n"
         "   or: %s --workload NAME --seed S --crash-tick T --fault-plan P\n"
         "          [--media direct|ftl]\n"
@@ -141,6 +142,8 @@ main(int argc, char **argv)
                 std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--shards") {
             next(); // value parsed/validated below by cli::shardsArg
+        } else if (arg == "--spec") {
+            next(); // value parsed/validated below by cli::specArg
         } else if (arg == "--battery-fraction") {
             battery_fraction = std::strtod(next().c_str(), nullptr);
         } else if (arg == "--media") {
@@ -172,6 +175,7 @@ main(int argc, char **argv)
     // replay): byte-neutral to results, so repro lines need not carry it.
     spec.base.shards =
         bbb::cli::shardsArg(argc, argv, spec.base.num_cores);
+    spec.base.spec = bbb::cli::specArg(argc, argv, spec.base.shards);
 
     if (!media.empty())
         spec.base.media.kind = mediaKindFromName(media);

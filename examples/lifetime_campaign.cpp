@@ -49,7 +49,7 @@ usage(const char *argv0)
         "usage: %s [--workloads NAME[,NAME...]] [--modes M[,M...]]\n"
         "          [--plans P[,P...]] [--rounds K] [--lifetimes N]\n"
         "          [--ops N] [--initial N] [--campaign-seed N] [--jobs N]\n"
-        "          [--shards N] [--verbose] [--json PATH]\n"
+        "          [--shards N] [--spec on|off] [--verbose] [--json PATH]\n"
         "          [--traces T[,T...]] [--battery-caps J[,J...]]\n"
         "          [--policies P[,P...]] [--media direct|ftl]\n"
         "   or: %s --workload NAME --mode M --seed S --rounds K "
@@ -160,6 +160,8 @@ main(int argc, char **argv)
                 std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--shards") {
             next(); // value parsed/validated below by cli::shardsArg
+        } else if (arg == "--spec") {
+            next(); // value parsed/validated below by cli::specArg
         } else if (arg == "--verbose") {
             verbose = true;
         } else if (arg == "--json") {
@@ -206,6 +208,7 @@ main(int argc, char **argv)
     // replay): byte-neutral to results, so repro lines need not carry it.
     spec.base.shards =
         bbb::cli::shardsArg(argc, argv, spec.base.num_cores);
+    spec.base.spec = bbb::cli::specArg(argc, argv, spec.base.shards);
 
     if (!media.empty()) {
         spec.base.media.kind = mediaKindFromName(media);

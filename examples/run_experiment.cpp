@@ -47,7 +47,7 @@ usage(const char *argv0)
                  "          [--entries N] [--ops N] [--initial N]\n"
                  "          [--threshold F] [--policy fcfs|lrw|random]\n"
                  "          [--media direct|ftl] [--endurance N]\n"
-                 "          [--jobs N] [--shards N] [--stats]"
+                 "          [--jobs N] [--shards N] [--spec on|off] [--stats]"
                  " [--trace FILE] [--json PATH]\n\n"
                  "workloads:",
                  argv0);
@@ -112,6 +112,7 @@ main(int argc, char **argv)
     unsigned jobs = bbb::cli::jobsArg(argc, argv);
     SystemConfig cfg = benchConfig(PersistMode::BbbMemSide, 32);
     cfg.shards = bbb::cli::shardsArg(argc, argv, cfg.num_cores);
+    cfg.spec = bbb::cli::specArg(argc, argv, cfg.shards);
     WorkloadParams params = benchParams();
     params.ops_per_thread = 2000;
     params.initial_elements = 20000;
@@ -130,6 +131,8 @@ main(int argc, char **argv)
                 std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--shards") {
             next(); // value already parsed/validated by cli::shardsArg
+        } else if (arg == "--spec") {
+            next(); // value already parsed/validated by cli::specArg
         } else if (arg == "--mode") {
             cfg.mode = parseMode(next(), auto_strict);
             cfg.pmem_auto_strict = auto_strict;

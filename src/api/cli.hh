@@ -148,6 +148,15 @@ shardsArg(int argc, char **argv, unsigned max_cores = 0)
     return static_cast<unsigned>(n);
 }
 
+/**
+ * Speculative load resolution for the sharded kernel: `--spec on|off`
+ * (see sim/shard.hh). Defaults to on when @p shards > 1; speculation
+ * needs worker shards, so an explicit `--spec on` at one shard warns
+ * that it is inert and returns false (mirroring the kernel's
+ * SystemConfig::resolvedSpec() clamp). Declared below onOffArg.
+ */
+inline bool specArg(int argc, char **argv, unsigned shards);
+
 /** Split a comma-separated list, dropping empty segments. */
 inline std::vector<std::string>
 splitList(const std::string &arg)
@@ -260,6 +269,21 @@ onOffArg(int argc, char **argv, const char *flag, bool def)
                  "default\n",
                  flag, value.c_str());
     return def;
+}
+
+inline bool
+specArg(int argc, char **argv, unsigned shards)
+{
+    bool spec = onOffArg(argc, argv, "--spec", shards > 1);
+    if (spec && shards <= 1) {
+        // Reachable only with an explicit "on": the default at one
+        // shard is already off.
+        std::fprintf(stderr,
+                     "warning: --spec on has no effect at --shards 1; "
+                     "speculation stays off\n");
+        return false;
+    }
+    return spec;
 }
 
 /** `--json PATH` destination for the structured report ("" = none). */

@@ -11,6 +11,7 @@
  *   bbb-litmus --widths 1,4         # shard widths (streams must match)
  *   bbb-litmus --shards 4           # shorthand for --widths 4
  *   bbb-litmus --por off            # disable partial-order reduction
+ *   bbb-litmus --spec off           # disable the speculative load probe
  *   bbb-litmus --max-nodes N        # enumeration budget per config
  *   bbb-litmus --json PATH          # structured report
  *   bbb-litmus --replay "0 0d 1" --test sb --mode bbb [--width W]
@@ -84,7 +85,8 @@ replayMain(int argc, char **argv, const HarnessOptions &opts)
         return 2;
     }
     bool ok = false;
-    std::string report = replaySchedule(*test, mode, width, steps, &ok);
+    std::string report =
+        replaySchedule(*test, mode, width, steps, &ok, opts.spec);
     std::fputs(report.c_str(), stdout);
     return ok ? 0 : 1;
 }
@@ -103,6 +105,10 @@ main(int argc, char **argv)
         opts.widths = {cli::shardsArg(argc, argv, kMaxThreads)};
     }
     opts.por = cli::onOffArg(argc, argv, "--por", true);
+    // Unlike the bench binaries the harness runs several widths, so the
+    // one-shard clamp warning of cli::specArg does not apply here —
+    // speculation is simply inert at width 1.
+    opts.spec = cli::onOffArg(argc, argv, "--spec", true);
     std::string max_nodes = cli::stringOpt(argc, argv, "--max-nodes");
     if (!max_nodes.empty())
         opts.max_nodes = std::strtoull(max_nodes.c_str(), nullptr, 10);
@@ -146,6 +152,7 @@ main(int argc, char **argv)
     BenchReport report("bbb-litmus");
     report.setConfig("tests", std::uint64_t(tests.size()));
     report.setConfig("por", opts.por);
+    report.setConfig("spec", opts.spec);
     report.setConfig("max_nodes", opts.max_nodes);
     {
         std::string w;

@@ -84,6 +84,13 @@ System::System(const SystemConfig &cfg)
             if (_cfg.shardOf(c) != 0)
                 _cores[c]->setShardRuntime(_shard_rt.get());
         }
+        if (_cfg.resolvedSpec()) {
+            std::uint64_t l1_lines = _cfg.l1d.size_bytes / kBlockSize;
+            _shadow = std::make_unique<ShadowL1Table>(
+                _cfg.num_cores, l1_lines / _cfg.l1d.assoc, _cfg.l1d.assoc);
+            _hier->setShadow(_shadow.get());
+            _shard_rt->setShadow(_shadow.get());
+        }
     }
 
     _heap = std::make_unique<PersistentHeap>(_map, _cfg.num_cores);
@@ -189,6 +196,14 @@ System::snapshotMetrics(bool histogram_buckets) const
                    quantum ? _exec_time / quantum : 0);
         m.setCount("sim.shard.commit_stall_ns",
                    _shard_rt ? _shard_rt->commitStallNs() : 0);
+        m.setCount("sim.shard.spec_hits",
+                   _shard_rt ? _shard_rt->specHits() : 0);
+        m.setCount("sim.shard.spec_misses",
+                   _shard_rt ? _shard_rt->specMisses() : 0);
+        m.setCount("sim.shard.squashes",
+                   _shard_rt ? _shard_rt->squashes() : 0);
+        m.setCount("sim.shard.validate_ns",
+                   _shard_rt ? _shard_rt->validateNs() : 0);
         for (unsigned s = 0; s < shards; ++s) {
             std::uint64_t shard_ops = 0;
             for (CoreId c = 0; c < _cfg.num_cores; ++c) {
@@ -206,6 +221,12 @@ void
 System::onThread(CoreId c, Core::ThreadBody body)
 {
     _cores.at(c)->bindThread(std::move(body));
+}
+
+void
+System::onThreadReset(CoreId c, std::function<void()> reset)
+{
+    _cores.at(c)->setThreadReset(std::move(reset));
 }
 
 void

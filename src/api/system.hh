@@ -99,6 +99,16 @@ class System
     /** Bind a software thread to core @p c (one thread per core). */
     void onThread(CoreId c, Core::ThreadBody body);
 
+    /**
+     * Register a hook that rolls back every host-side effect of core
+     * @p c's thread body (logs, heap frontiers, registers) so the body
+     * can re-run from the top. Must precede onThread(c, ...). Under the
+     * sharded kernel with --spec on, this is what makes the core
+     * eligible for speculative load resolution: a mispredicted probe is
+     * recovered by resetting and replaying the committed prefix.
+     */
+    void onThreadReset(CoreId c, std::function<void()> reset);
+
     // --- crash-recover-resume ------------------------------------------
     /**
      * Replace this (not-yet-run) machine's media image with @p src: the
@@ -252,6 +262,9 @@ class System
     std::unique_ptr<CrashEngine> _crash;
     FaultStats _fault_stats;
     std::unique_ptr<FaultInjector> _faults;
+    /// Seqlock L1 mirror for the speculative probe (resolvedSpec() only).
+    /// Declared before _shard_rt: destroyed only after the workers join.
+    std::unique_ptr<ShadowL1Table> _shadow;
     /// Declared after _cores so the workers are joined (and every fiber
     /// parked) before the cores destroy the fibers.
     std::unique_ptr<ShardRuntime> _shard_rt;

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Seqlock-versioned shadow of the per-core private L1Ds, for the sharded
+ * kernel's speculative load probe (`--spec on`).
+ *
+ * The commit lane (shard 0) is the only writer: CacheHierarchy publishes
+ * every L1 line mutation it performs — install, upgrade, downgrade,
+ * invalidation, eviction, store data — under a per-line version that is
+ * odd while a publication is in progress. Worker shards read their own
+ * core's lines lock-free: a probe that observes an odd or changed version
+ * simply fails (the fiber parks, exactly as without speculation), so a
+ * torn read can never produce a wrong value that goes unnoticed — and
+ * even a stale-but-consistent value is only ever a *prediction*, verified
+ * against the authoritative hierarchy when the load commits.
+ *
+ * Every field is a std::atomic accessed with acquire/release ordering:
+ * the table is data-race-free by construction (what the tsan_shard label
+ * checks), and the seqlock protocol above makes torn publications at
+ * worst a wasted probe.
+ */
+
+#ifndef BBB_CACHE_SHADOW_L1_HH
+#define BBB_CACHE_SHADOW_L1_HH
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+
+#include "cache/mesi.hh"
+#include "mem/block_data.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace bbb
+{
+
+/** Lock-free mirror of every core's private L1 tag/state/data array. */
+class ShadowL1Table
+{
+  public:
+    /** Geometry must match the CacheArray<L1Line> it mirrors. */
+    ShadowL1Table(unsigned cores, std::uint64_t sets, unsigned assoc)
+        : _cores(cores), _sets(sets), _assoc(assoc),
+          _lines_per_core(sets * assoc),
+          _lines(new ShadowLine[cores * sets * assoc])
+    {
+        BBB_ASSERT(cores > 0 && sets > 0 && assoc > 0,
+                   "shadow L1 geometry must be positive");
+    }
+
+    /**
+     * Commit-lane only: publish core @p c's line at flat index @p index
+     * (CacheArray::indexOf order, set * assoc + way). Invalid lines are
+     * published with @p valid false so stale tags stop matching probes.
+     */
+    void
+    publish(CoreId c, std::size_t index, Addr block, bool valid, Mesi state,
+            const BlockData &data)
+    {
+        ShadowLine &l = line(c, index);
+        std::uint64_t v = l.version.load(std::memory_order_relaxed);
+        l.version.store(v + 1, std::memory_order_release);
+        l.block.store(valid ? block : kBadAddr, std::memory_order_release);
+        l.state.store(static_cast<std::uint8_t>(valid ? state
+                                                      : Mesi::Invalid),
+                      std::memory_order_release);
+        std::uint64_t words[kWords];
+        std::memcpy(words, data.bytes.data(), kBlockSize);
+        for (unsigned w = 0; w < kWords; ++w)
+            l.data[w].store(words[w], std::memory_order_release);
+        l.version.store(v + 2, std::memory_order_release);
+    }
+
+    /**
+     * Worker-side probe: if core @p c's shadow holds a readable (S/E/M)
+     * copy of the block covering [@p addr, @p addr + @p size), extract
+     * the value into @p out and return true. Any instability — odd
+     * version, version change mid-read, tag mismatch — returns false;
+     * the caller falls back to parking. Never blocks, never spins.
+     */
+    bool
+    probe(CoreId c, Addr addr, unsigned size, std::uint64_t *out) const
+    {
+        Addr block = blockAlign(addr);
+        std::uint64_t set = (block >> kBlockShift) % _sets;
+        const ShadowLine *base = &line(c, set * _assoc);
+        for (unsigned w = 0; w < _assoc; ++w) {
+            const ShadowLine &l = base[w];
+            std::uint64_t v1 = l.version.load(std::memory_order_acquire);
+            if (v1 & 1)
+                continue; // publication in progress
+            if (l.block.load(std::memory_order_acquire) != block)
+                continue;
+            Mesi state = static_cast<Mesi>(
+                l.state.load(std::memory_order_acquire));
+            if (state == Mesi::Invalid)
+                continue;
+            std::uint64_t words[kWords];
+            for (unsigned i = 0; i < kWords; ++i)
+                words[i] = l.data[i].load(std::memory_order_acquire);
+            if (l.version.load(std::memory_order_acquire) != v1)
+                return false; // concurrent publication: don't retry
+            std::uint64_t value = 0;
+            std::memcpy(&value,
+                        reinterpret_cast<const unsigned char *>(words) +
+                            blockOffset(addr),
+                        size);
+            *out = value;
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    static constexpr unsigned kWords = kBlockSize / 8;
+
+    /**
+     * One mirrored line. Padded to its own cache-line pair so commit-lane
+     * publications never false-share with neighbouring probes.
+     */
+    struct alignas(128) ShadowLine
+    {
+        /** Seqlock version: odd while the commit lane is writing. */
+        std::atomic<std::uint64_t> version{0};
+        std::atomic<Addr> block{kBadAddr};
+        std::atomic<std::uint8_t> state{
+            static_cast<std::uint8_t>(Mesi::Invalid)};
+        std::atomic<std::uint64_t> data[kWords] = {};
+    };
+
+    ShadowLine &
+    line(CoreId c, std::size_t index)
+    {
+        BBB_ASSERT(c < _cores && index < _lines_per_core,
+                   "shadow L1 index out of range");
+        return _lines[c * _lines_per_core + index];
+    }
+
+    const ShadowLine &
+    line(CoreId c, std::size_t index) const
+    {
+        return const_cast<ShadowL1Table *>(this)->line(c, index);
+    }
+
+    unsigned _cores;
+    std::uint64_t _sets;
+    unsigned _assoc;
+    std::size_t _lines_per_core;
+    std::unique_ptr<ShadowLine[]> _lines;
+};
+
+} // namespace bbb
+
+#endif // BBB_CACHE_SHADOW_L1_HH

@@ -1,5 +1,7 @@
 #include "cpu/core.hh"
 
+#include <chrono>
+
 #include "sim/shard.hh"
 
 namespace bbb
@@ -133,14 +135,48 @@ void
 Core::bindThread(ThreadBody body)
 {
     BBB_ASSERT(!_fiber, "core %u already has a thread", _id);
+    _body = std::move(body);
+    makeFiber();
+    if (_shard) {
+        ShardRuntime::FiberRebuild rebuild;
+        if (_thread_reset) {
+            // Squash recovery: drop the wrong-path fiber, roll the
+            // thread body's host-side effects back to a clean slate and
+            // re-run it from the top (the runtime replays the committed
+            // prefix from its journal). The same thread-context seed
+            // keeps the re-run deterministic.
+            rebuild = [this]() -> Fiber * {
+                _fiber.reset();
+                _tc.reset();
+                _thread_reset();
+                makeFiber();
+                return _fiber.get();
+            };
+        }
+        _shard->addCore(_id, _fiber.get(), std::move(rebuild));
+    }
+}
+
+void
+Core::makeFiber()
+{
     _tc = std::make_unique<ThreadContext>(*this,
                                           _cfg.seed * 1315423911u + _id);
     ThreadContext *tc = _tc.get();
-    _fiber = std::make_unique<Fiber>([body = std::move(body), tc]() {
-        body(*tc);
-    });
-    if (_shard)
-        _shard->addCore(_id, _fiber.get());
+    _fiber = std::make_unique<Fiber>([this, tc]() { _body(*tc); });
+}
+
+void
+Core::setThreadReset(std::function<void()> reset)
+{
+    // A live fiber means either a double workload install (the core
+    // already has a thread) or a reset hook registered too late to be
+    // captured by bindThread's rebuild closure.
+    BBB_ASSERT(!_fiber,
+               "core %u already has a thread; reset hooks must be "
+               "installed before bindThread",
+               _id);
+    _thread_reset = std::move(reset);
 }
 
 void
@@ -264,11 +300,40 @@ Core::executePending()
         _result = result;
         _op_in_flight = false;
         if (_shard && _pending.kind == OpKind::Load) {
-            // Early value delivery: the architectural result is known
-            // now; only the latency is still being charged. Sending it
-            // immediately lets the worker compute the fiber's next
-            // segment during the load's latency window.
-            _shard->sendResume(_id, result, _eq.now() + lat);
+            if (_pending.spec) {
+                // The load was resolved speculatively on the worker: the
+                // fiber already ran ahead with spec_value. The load was
+                // still executed above exactly as the inline kernel
+                // would — same state changes, same latency — so the
+                // event schedule is independent of the prediction; all
+                // that is left is to check it.
+                auto t0 = std::chrono::steady_clock::now();
+                bool match = result == _pending.spec_value;
+                if (litmusMutation("spec-skip-validate"))
+                    match = true; // seeded bug: trust the probe blindly
+                if (match && _cfg.spec_mispredict_period &&
+                    ++_spec_validations % _cfg.spec_mispredict_period ==
+                        0) {
+                    // Fault injection: exercise the squash path with the
+                    // architecturally correct value, so recovered state
+                    // stays byte-identical while the machinery runs.
+                    match = false;
+                }
+                std::uint64_t ns = static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+                if (match)
+                    _shard->specValidated(_id, ns);
+                else
+                    _shard->squash(_id, result, _eq.now() + lat, ns);
+            } else {
+                // Early value delivery: the architectural result is
+                // known now; only the latency is still being charged.
+                // Sending it immediately lets the worker compute the
+                // fiber's next segment during the load's latency window.
+                _shard->sendResume(_id, result, _eq.now() + lat);
+            }
         }
         _eq.scheduleIn(lat, [this]() { resumeFiber(); },
                        EventPriority::CoreOp);

@@ -112,6 +112,16 @@ class Core
     void bindThread(ThreadBody body);
 
     /**
+     * Register a hook that undoes every host-side effect of the thread
+     * body (workload logs, heap frontiers, litmus registers) so the body
+     * can be re-run from the top. Must be called before bindThread().
+     * On a worker shard this makes the core eligible for speculative
+     * load resolution: a mispredict destroys the fiber, runs the hook,
+     * and replays the committed prefix (see sim/shard.hh).
+     */
+    void setThreadReset(std::function<void()> reset);
+
+    /**
      * Offload this core's fiber to a worker shard (sharded kernel).
      * Must be called before bindThread(). The core then *consumes* ops
      * from the runtime's mailbox at exactly the events where the inline
@@ -167,6 +177,9 @@ class Core
     /** Called from the fiber side: record the op and yield. */
     std::uint64_t issueFromFiber(const MemOp &op);
 
+    /** (Re)create the thread context + fiber over _body. */
+    void makeFiber();
+
     /** Simulated time as seen by the workload thread. */
     Tick threadNow() const;
 
@@ -190,6 +203,10 @@ class Core
 
     std::unique_ptr<ThreadContext> _tc;
     std::unique_ptr<Fiber> _fiber;
+    /** The bound thread body, kept so a squash can rebuild the fiber. */
+    ThreadBody _body;
+    /** Host-state reset hook enabling squash rebuilds (may be empty). */
+    std::function<void()> _thread_reset;
     /** Non-null when this core's fiber runs on a worker shard. */
     ShardRuntime *_shard = nullptr;
 
@@ -204,6 +221,9 @@ class Core
     bool _started = false;
     bool _finished = false;
     bool _halted = false;
+    /** Speculative validations so far (spec_mispredict_period fault
+     *  injection counts against this). */
+    std::uint64_t _spec_validations = 0;
     Tick _finish_tick = 0;
     Tick _wait_start = 0;
 

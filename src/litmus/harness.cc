@@ -181,8 +181,8 @@ struct RunContext
             opts.visit_hook();
         watchdog.check(test.name, mode, width, res.nodes + 1, schedule);
         ++res.sim_runs;
-        SimResult sim =
-            runSchedule(test, prog, mode, width, schedule);
+        SimResult sim = runSchedule(test, prog, mode, width, schedule,
+                                    nullptr, opts.spec);
 
         if (!sim.ok) {
             addViolation(schedule, sim.error);
@@ -321,8 +321,8 @@ struct RunContext
         } else {
             plan.battery_j = budget_j;
         }
-        SimResult sim =
-            runSchedule(test, prog, mode, width, sch, &plan);
+        SimResult sim = runSchedule(test, prog, mode, width, sch, &plan,
+                                    opts.spec);
         std::string tag = std::string(charged ? "battery-cap k="
                                               : "battery k=") +
                           std::to_string(k) + ": ";
@@ -471,7 +471,7 @@ checkCorpus(const std::vector<Test> &tests, const HarnessOptions &opts)
 
 std::string
 replaySchedule(const Test &test, Mode mode, unsigned width,
-               const std::vector<Step> &steps, bool *ok)
+               const std::vector<Step> &steps, bool *ok, bool spec)
 {
     *ok = true;
     std::string out;
@@ -496,7 +496,8 @@ replaySchedule(const Test &test, Mode mode, unsigned width,
     }
     bool is_leaf = model.enabledSteps(prog).empty();
 
-    SimResult sim = runSchedule(test, prog, mode, width, steps);
+    SimResult sim =
+        runSchedule(test, prog, mode, width, steps, nullptr, spec);
     out += "test " + test.name + " mode " + modeName(mode) + " width " +
            std::to_string(width) + "\n";
     out += "schedule [" + scheduleString(steps) + "]" +

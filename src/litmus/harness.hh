@@ -48,6 +48,10 @@ struct HarnessOptions
     /** Shard widths every configuration runs at (outcome streams must
      *  be byte-identical across them). */
     std::vector<unsigned> widths = {1, 4};
+    /** Speculative load probe on worker shards (`--spec`; inert at
+     *  width 1). On by default so the corpus continuously checks that
+     *  outcomes are independent of speculation. */
+    bool spec = true;
     bool por = true;
     std::uint64_t max_nodes = 200000;
     /** Stop checking a (test, mode, width) run past this many
@@ -103,7 +107,8 @@ HarnessResult checkCorpus(const std::vector<Test> &tests,
  * executable).
  */
 std::string replaySchedule(const Test &test, Mode mode, unsigned width,
-                           const std::vector<Step> &steps, bool *ok);
+                           const std::vector<Step> &steps, bool *ok,
+                           bool spec = true);
 
 } // namespace litmus
 } // namespace bbb

@@ -10,11 +10,12 @@ namespace litmus
 {
 
 SystemConfig
-litmusConfig(Mode mode, unsigned shards)
+litmusConfig(Mode mode, unsigned shards, bool spec)
 {
     SystemConfig cfg;
     cfg.num_cores = kMaxThreads; // constant across tests: widths 1..4
     cfg.shards = shards;
+    cfg.spec = spec;
     cfg.mode = persistModeOf(mode);
     // Small arrays keep per-node System construction cheap; the vars
     // (consecutive blocks) still land in distinct sets.
@@ -97,10 +98,10 @@ opMatches(const MemOp &got, const MOp &expect, Addr addr)
 SimResult
 runSchedule(const Test &test, const Program &prog, Mode mode,
             unsigned shards, const std::vector<Step> &steps,
-            const FaultPlan *faults)
+            const FaultPlan *faults, bool spec)
 {
     SimResult res;
-    SystemConfig cfg = litmusConfig(mode, shards);
+    SystemConfig cfg = litmusConfig(mode, shards, spec);
     System sys(cfg);
     if (faults)
         sys.setFaultPlan(*faults);
@@ -121,6 +122,20 @@ runSchedule(const Test &test, const Program &prog, Mode mode,
         const std::vector<MOp> *ops = &prog.threads[t];
         RegFile *rf = &regs;
         const std::array<Addr, kMaxVars> *va = &addr;
+        // Squash-rollback hook: the only host-side state a litmus
+        // thread body writes is its own registers (the committed-op
+        // ledger below is commit-lane-side and never rolls back).
+        std::vector<unsigned> tregs;
+        for (const MOp &op : *ops) {
+            if (op.kind == MKind::Load)
+                tregs.push_back(unsigned(op.reg));
+        }
+        sys.onThreadReset(t, [rf, tregs]() {
+            for (unsigned r : tregs) {
+                rf->val[r] = 0;
+                rf->done[r] = false;
+            }
+        });
         sys.onThread(t, [ops, rf, va](ThreadContext &tc) {
             for (const MOp &op : *ops) {
                 switch (op.kind) {

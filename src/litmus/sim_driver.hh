@@ -35,7 +35,7 @@ namespace litmus
  * drains (threshold 1.0 keeps the auto drain engine quiet for <= 8
  * buffered stores), TSO, and crash-time invariant checking.
  */
-SystemConfig litmusConfig(Mode mode, unsigned shards);
+SystemConfig litmusConfig(Mode mode, unsigned shards, bool spec = true);
 
 /** Block address of litmus variable @p var: consecutive blocks past the
  *  persistent heap header (which holds the heap magic). */
@@ -70,10 +70,13 @@ struct SimResult
  * Execute @p steps of @p prog (the @p mode lowering of @p test) on a
  * fresh system at shard width @p shards, then crash and capture the
  * image. @p faults optionally arms a fault plan (battery sweeps).
+ * @p spec enables the sharded kernel's speculative load probe (inert at
+ * one shard); outcomes must not depend on it — that independence is
+ * exactly what running the corpus with it forced on checks.
  */
 SimResult runSchedule(const Test &test, const Program &prog, Mode mode,
                       unsigned shards, const std::vector<Step> &steps,
-                      const FaultPlan *faults = nullptr);
+                      const FaultPlan *faults = nullptr, bool spec = true);
 
 } // namespace litmus
 } // namespace bbb

@@ -258,6 +258,25 @@ struct SystemConfig
      */
     unsigned shard_mailbox_entries = 0;
 
+    /**
+     * Speculative load resolution on worker shards (`--spec`): workers
+     * probe a seqlock-versioned shadow of their core's private L1 and run
+     * ahead through predicted hits without parking; the commit lane
+     * validates every prediction against the authoritative hierarchy and
+     * squashes on mismatch. Prediction only — the committed event
+     * schedule (and every canonical report) is byte-identical with
+     * speculation on or off. Meaningful only when resolvedShards() > 1.
+     */
+    bool spec = true;
+
+    /**
+     * Testing knob: force a squash (with the *correct* value, so the
+     * committed schedule is untouched) on every Nth validated
+     * speculative load. 0 disables. Exercises the squash/replay path
+     * deterministically regardless of host timing.
+     */
+    std::uint64_t spec_mispredict_period = 0;
+
     CacheConfig l1d{128_KiB, 8, 2};
     CacheConfig llc{1_MiB, 8, 11};
 
@@ -346,6 +365,13 @@ struct SystemConfig
     shardOf(unsigned core) const
     {
         return core % resolvedShards();
+    }
+
+    /** Speculative probing after clamping: needs worker shards to probe. */
+    bool
+    resolvedSpec() const
+    {
+        return spec && resolvedShards() > 1;
     }
 
     /**

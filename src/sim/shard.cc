@@ -1,16 +1,45 @@
 #include "sim/shard.hh"
 
 #include <chrono>
+#include <cstring>
 
+#include "cache/shadow_l1.hh"
 #include "sim/fiber.hh"
 #include "sim/logging.hh"
 
 namespace bbb
 {
 
+namespace
+{
+/**
+ * Memory bound on the per-core squash-replay journal. A core that
+ * commits this many loads stops speculating (its journal is dropped once
+ * fully validated); everything else is unaffected. ~24 MB per core at
+ * the cap — far above any committed benchmark or campaign.
+ */
+constexpr std::size_t kJournalCap = std::size_t(1) << 20;
+
+/** Pending-store overlay blocks before the worker drops it wholesale
+ *  (probe-quality bound only; a dropped overlay just means parking). */
+constexpr std::size_t kPendingMapCap = 4096;
+
+/** Byte mask of [offset, offset+size) within a 64-byte block. */
+inline std::uint64_t
+byteMask(unsigned offset, unsigned size)
+{
+    std::uint64_t bits =
+        size >= 64 ? ~0ull : ((std::uint64_t(1) << size) - 1);
+    return bits << offset;
+}
+} // namespace
+
 ShardRuntime::ShardRuntime(const SystemConfig &cfg)
     : _shards(cfg.resolvedShards()), _quantum(cfg.shardQuantum()),
-      _capacity(cfg.shardMailboxCapacity())
+      _capacity(cfg.shardMailboxCapacity()),
+      _spec_enabled(cfg.resolvedSpec()),
+      _pending_staleness(cfg.shardMailboxCapacity() +
+                         cfg.store_buffer.entries + 64)
 {
     BBB_ASSERT(_shards > 1, "ShardRuntime needs at least one worker shard");
     _channels.resize(cfg.num_cores);
@@ -52,7 +81,7 @@ ShardRuntime::channel(CoreId id) const
 }
 
 void
-ShardRuntime::addCore(CoreId id, Fiber *fiber)
+ShardRuntime::addCore(CoreId id, Fiber *fiber, FiberRebuild rebuild)
 {
     unsigned shard = id % _shards;
     BBB_ASSERT(shard != 0, "core %u belongs to the commit lane", id);
@@ -62,6 +91,8 @@ ShardRuntime::addCore(CoreId id, Fiber *fiber)
     auto ch = std::make_unique<Channel>();
     ch->fiber = fiber;
     ch->shard = shard;
+    ch->rebuild = std::move(rebuild);
+    ch->spec_allowed = _spec_enabled && static_cast<bool>(ch->rebuild);
     _channels[id] = std::move(ch);
 }
 
@@ -106,6 +137,7 @@ ShardRuntime::popOp(CoreId id, MemOp &op)
         return false; // finished and drained
     op = ch.mailbox.front();
     ch.mailbox.pop_front();
+    ++ch.ops_popped;
     if (ch.park == ShardPark::NeedSpace)
         _worker_cv[ch.shard - 1]->notify_all();
     return true;
@@ -124,6 +156,61 @@ ShardRuntime::sendResume(CoreId id, std::uint64_t value, Tick resume_tick)
 }
 
 void
+ShardRuntime::specValidated(CoreId id, std::uint64_t validate_ns)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    Channel &ch = channel(id);
+    BBB_ASSERT(ch.journal_committed < ch.journal.size(),
+               "core %u spec commit without an uncommitted journal entry",
+               id);
+    ++ch.journal_committed;
+    ++_spec_hits;
+    _validate_ns += validate_ns;
+    maybeRetireJournal(ch);
+}
+
+void
+ShardRuntime::squash(CoreId id, std::uint64_t corrected, Tick resume_tick,
+                     std::uint64_t validate_ns)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    Channel &ch = channel(id);
+    BBB_ASSERT(ch.journal_committed < ch.journal.size(),
+               "core %u squash without an uncommitted journal entry", id);
+    ++_squashes;
+    _validate_ns += validate_ns;
+    // Everything the fiber produced after the mispredicted load is wrong
+    // path: it never commits. The mispredicted load itself *has*
+    // committed (with the corrected value) — record it as the last
+    // committed journal entry, carrying the resume tick the non-spec
+    // path would have delivered.
+    ch.mailbox.clear();
+    ch.current_epoch++;
+    ch.squash_pending = true;
+    ch.journal.resize(ch.journal_committed);
+    ch.journal.push_back({corrected, resume_tick, true});
+    ch.journal_committed = ch.journal.size();
+    ch.replay_target = ch.ops_popped;
+    ch.finished = false;
+    ch.resume_pending = false;
+    _worker_cv[ch.shard - 1]->notify_all();
+}
+
+void
+ShardRuntime::maybeRetireJournal(Channel &ch)
+{
+    // Once a core has stopped speculating (journal cap) and every entry
+    // is commit-confirmed, no squash can ever need the journal again.
+    if (!ch.spec_allowed && !ch.replaying && !ch.journal.empty() &&
+        ch.journal_committed == ch.journal.size()) {
+        ch.journal.clear();
+        ch.journal.shrink_to_fit();
+        ch.journal_committed = 0;
+        ch.replay_pos = 0;
+    }
+}
+
+void
 ShardRuntime::quiesce()
 {
     std::unique_lock<std::mutex> lk(_mu);
@@ -136,33 +223,101 @@ ShardRuntime::quiesce()
                 return false;
         return true;
     });
+    if (_reconciled)
+        return;
+    _reconciled = true;
+
+    // Reconcile speculation: after this loop every channel's host-side
+    // state (workload logs, heap frontiers, litmus registers) reflects
+    // only commit-confirmed load values — a fiber that ran ahead on
+    // unvalidated predictions is rebuilt and replayed to the committed
+    // prefix right here, on the calling thread (the workers are idle and
+    // will never run these fibers again).
+    for (auto &chp : _channels) {
+        Channel *ch = chp.get();
+        if (!ch)
+            continue;
+        bool stale_tail = ch->journal.size() > ch->journal_committed;
+        bool rebuild = ch->squash_pending || stale_tail;
+        if (!rebuild && !(ch->replaying && !ch->started))
+            continue;
+        if (rebuild) {
+            ch->squash_pending = false;
+            if (stale_tail) {
+                // Unvalidated predictions may be wrong: drop them and
+                // replay only the committed prefix.
+                ch->current_epoch++;
+                ch->journal.resize(ch->journal_committed);
+            }
+            ch->replay_target = ch->ops_popped;
+            lk.unlock();
+            rebuildChannel(*ch);
+            lk.lock();
+            beginReplay(*ch);
+        }
+        if (!ch->replaying)
+            continue; // nothing committed: the fresh fiber never ran
+        // The replay never yields: one resume feeds the whole committed
+        // prefix, then the fiber parks (Halted) at its first live op.
+        ch->started = true;
+        lk.unlock();
+        ch->fiber->resume();
+        lk.lock();
+    }
 }
 
 std::uint64_t
 ShardRuntime::produceOp(CoreId id, const MemOp &op)
 {
     Channel &ch = channel(id); // no lock: the slot pointer is immutable
+    if (ch.replaying) {
+        std::uint64_t replayed = 0;
+        if (replayFeed(ch, op, replayed))
+            return replayed;
+        // The load that was in flight when the fiber was squashed at a
+        // quiesce: its value never committed, so it parks right here —
+        // exactly where the inline fiber would be suspended.
+    }
+
+    bool spec_ok = false;
+    std::uint64_t pred = 0;
+    if (op.kind == OpKind::Load && ch.spec_allowed && _shadow)
+        spec_ok = predictLoad(ch, id, op, &pred);
+    else if (op.kind == OpKind::Store)
+        notePendingStore(ch, op);
+
     std::unique_lock<std::mutex> lk(_mu);
-    while (ch.mailbox.size() >= _capacity && !_halted) {
+    for (;;) {
+        if (ch.fiber_epoch != ch.current_epoch || _halted) {
+            // Squashed mid-run (this whole path is wrong-path and will
+            // be rebuilt), or crash/shutdown: park forever; the fiber is
+            // abandoned exactly like an inline fiber at a crash.
+            parkForever(ch, lk);
+        }
+        if (ch.mailbox.size() < _capacity)
+            break;
         ch.park = ShardPark::NeedSpace;
         lk.unlock();
         Fiber::yield(); // back to the worker loop
         lk.lock();
     }
-    if (_halted) {
-        // Crash/shutdown: park forever; the commit lane stops consuming
-        // and the fiber is abandoned exactly like an inline fiber at a
-        // crash. The yield loop is belt-and-braces — a Halted channel is
-        // never picked as runnable again.
-        ch.park = ShardPark::Halted;
-        lk.unlock();
-        for (;;)
-            Fiber::yield();
+    MemOp out = op;
+    out.epoch = ch.fiber_epoch;
+    if (spec_ok) {
+        out.spec = true;
+        out.spec_value = pred;
+        ch.journal.push_back({pred, 0, false}); // uncommitted tail
+        if (ch.journal.size() >= kJournalCap)
+            ch.spec_allowed = false; // memory bound; retired once drained
     }
-    ch.mailbox.push_back(op);
+    ch.mailbox.push_back(out);
     _commit_cv.notify_all();
     if (op.kind != OpKind::Load)
         return 0; // run ahead: result is architecturally 0
+    if (spec_ok)
+        return pred; // run ahead through the predicted hit: no park
+    if (ch.spec_allowed && _shadow)
+        ++_spec_misses;
     ch.park = ShardPark::NeedResult;
     lk.unlock();
     Fiber::yield(); // until the worker loop consumes the resume
@@ -171,10 +326,166 @@ ShardRuntime::produceOp(CoreId id, const MemOp &op)
     return ch.value_for_fiber;
 }
 
+bool
+ShardRuntime::predictLoad(Channel &ch, CoreId id, const MemOp &op,
+                          std::uint64_t *out)
+{
+    Addr block = blockAlign(op.addr);
+    unsigned off = blockOffset(op.addr);
+    std::uint64_t need = byteMask(off, op.size);
+
+    // The core's own recent stores overlay the shadow: they may still be
+    // mailbox- or store-buffer-resident, where the commit lane's L1 (and
+    // so the shadow) cannot see them yet, but architecturally the load
+    // observes them (store forwarding). A stale overlay entry only costs
+    // a squash, never a wrong committed value — prune lazily.
+    std::uint64_t have = 0;
+    auto it = ch.pending.find(block);
+    if (it != ch.pending.end()) {
+        if (ch.store_seq - it->second.seq > _pending_staleness) {
+            ch.pending.erase(it);
+            it = ch.pending.end();
+        } else {
+            have = it->second.mask & need;
+        }
+    }
+
+    std::uint64_t value = 0;
+    if (have != need &&
+        !_shadow->probe(id, op.addr, op.size, &value))
+        return false; // no readable shadow copy: park as usual
+
+    if (have) {
+        unsigned char buf[8] = {};
+        std::memcpy(buf, &value, sizeof(buf));
+        for (unsigned i = 0; i < op.size; ++i) {
+            if (have & (std::uint64_t(1) << (off + i)))
+                buf[i] = it->second.bytes[off + i];
+        }
+        value = 0;
+        std::memcpy(&value, buf, op.size);
+    }
+    *out = value;
+    return true;
+}
+
+void
+ShardRuntime::notePendingStore(Channel &ch, const MemOp &op)
+{
+    if (!ch.spec_allowed || !_shadow)
+        return;
+    if (ch.pending.size() > kPendingMapCap)
+        ch.pending.clear(); // probe-quality bound only
+    PendingBlock &pb = ch.pending[blockAlign(op.addr)];
+    unsigned off = blockOffset(op.addr);
+    std::memcpy(pb.bytes + off, &op.data, op.size);
+    pb.mask |= byteMask(off, op.size);
+    pb.seq = ++ch.store_seq;
+}
+
+bool
+ShardRuntime::replayFeed(Channel &ch, const MemOp &op, std::uint64_t &out)
+{
+    if (op.kind != OpKind::Load) {
+        // Re-execute the committed non-load's fiber side silently: the
+        // op itself already committed (it is not re-pushed), only the
+        // thread body's host-side effects are being reproduced.
+        if (op.kind == OpKind::Store)
+            notePendingStore(ch, op);
+        out = 0;
+        std::lock_guard<std::mutex> lk(_mu);
+        if (++ch.replay_seen >= ch.replay_target) {
+            ch.replaying = false;
+            maybeRetireJournal(ch);
+        }
+        return true;
+    }
+
+    std::lock_guard<std::mutex> lk(_mu);
+    if (ch.replay_pos >= ch.journal_committed) {
+        // Only possible at a quiesce-time reconcile whose in-flight op
+        // was this load: it popped but its value never committed.
+        ch.replaying = false;
+        maybeRetireJournal(ch);
+        return false; // fall through to the live path (parks on halt)
+    }
+    const JournalEntry e = ch.journal[ch.replay_pos++];
+    if (e.has_tick)
+        ch.now_for_fiber = e.tick;
+    if (++ch.replay_seen >= ch.replay_target) {
+        ch.replaying = false;
+        maybeRetireJournal(ch);
+    }
+    out = e.value;
+    return true;
+}
+
+void
+ShardRuntime::rebuildChannel(Channel &ch)
+{
+    BBB_ASSERT(ch.rebuild, "squash on a core without a rebuild hook");
+    ch.fiber = ch.rebuild();
+    ch.pending.clear();
+    ch.store_seq = 0;
+}
+
+void
+ShardRuntime::beginReplay(Channel &ch)
+{
+    ch.fiber_epoch = ch.current_epoch;
+    ch.replaying = ch.journal_committed > 0;
+    ch.replay_pos = 0;
+    ch.replay_seen = 0;
+    ch.park = ShardPark::None;
+    ch.started = false;
+    ch.kicked = true;
+    ch.finished = false;
+    ch.resume_pending = false;
+    ch.value_for_fiber = 0;
+    ch.now_for_fiber = 0;
+}
+
+void
+ShardRuntime::parkForever(Channel &ch, std::unique_lock<std::mutex> &lk)
+{
+    ch.park = ShardPark::Halted;
+    lk.unlock();
+    for (;;)
+        Fiber::yield();
+}
+
 Tick
 ShardRuntime::segmentNow(CoreId id) const
 {
     return channel(id).now_for_fiber;
+}
+
+std::uint64_t
+ShardRuntime::specHits() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _spec_hits;
+}
+
+std::uint64_t
+ShardRuntime::specMisses() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _spec_misses;
+}
+
+std::uint64_t
+ShardRuntime::squashes() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _squashes;
+}
+
+std::uint64_t
+ShardRuntime::validateNs() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _validate_ns;
 }
 
 ShardRuntime::Channel *
@@ -184,7 +495,8 @@ ShardRuntime::pickRunnable(unsigned shard)
         return nullptr;
     for (auto &chp : _channels) {
         Channel *ch = chp.get();
-        if (!ch || ch->shard != shard || ch->finished)
+        if (!ch || ch->shard != shard || ch->finished ||
+            ch->squash_pending)
             continue;
         if (!ch->started) {
             if (!ch->kicked)
@@ -199,6 +511,16 @@ ShardRuntime::pickRunnable(unsigned shard)
             ch->resume_pending = false;
             ch->value_for_fiber = ch->resume_value;
             ch->now_for_fiber = ch->resume_tick;
+            if (ch->spec_allowed) {
+                // The delivered value is commit-confirmed by definition:
+                // journal it for a later squash replay.
+                ch->journal.push_back(
+                    {ch->resume_value, ch->resume_tick, true});
+                ch->journal_committed = ch->journal.size();
+                if (ch->journal.size() >= kJournalCap)
+                    ch->spec_allowed = false;
+                maybeRetireJournal(*ch);
+            }
             ch->park = ShardPark::None;
             return ch;
           case ShardPark::NeedSpace:
@@ -214,11 +536,38 @@ ShardRuntime::pickRunnable(unsigned shard)
     return nullptr;
 }
 
+bool
+ShardRuntime::handleSquash(unsigned shard, std::unique_lock<std::mutex> &lk)
+{
+    if (_halted)
+        return false; // quiesce() reconciles on the main thread
+    for (auto &chp : _channels) {
+        Channel *ch = chp.get();
+        if (!ch || ch->shard != shard || !ch->squash_pending)
+            continue;
+        // No second squash can arrive mid-rebuild: the commit lane is
+        // blocked in popOp() on this core's (cleared) mailbox.
+        ch->squash_pending = false;
+        _busy[shard - 1] = true;
+        lk.unlock();
+        rebuildChannel(*ch);
+        lk.lock();
+        _busy[shard - 1] = false;
+        beginReplay(*ch);
+        if (_halted)
+            _idle_cv.notify_all();
+        return true;
+    }
+    return false;
+}
+
 void
 ShardRuntime::workerLoop(unsigned shard)
 {
     std::unique_lock<std::mutex> lk(_mu);
     while (!_shutdown) {
+        if (handleSquash(shard, lk))
+            continue;
         Channel *ch = pickRunnable(shard);
         if (!ch) {
             _idle_cv.notify_all();
@@ -230,7 +579,10 @@ ShardRuntime::workerLoop(unsigned shard)
         ch->fiber->resume(); // runs until the fiber parks or finishes
         lk.lock();
         _busy[shard - 1] = false;
-        if (ch->fiber->finished()) {
+        // Epoch guard: a wrong-path fiber returning "finished" during an
+        // in-flight squash must not overwrite the squash's reset.
+        if (ch->fiber->finished() &&
+            ch->fiber_epoch == ch->current_epoch) {
             ch->finished = true;
             _commit_cv.notify_all();
         }

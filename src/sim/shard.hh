@@ -22,6 +22,22 @@
  * fences, and compute advances complete immediately from the fiber's
  * point of view and are charged their latency later, at commit.
  *
+ * Speculative load resolution (`--spec on`, the default above one shard)
+ * takes predicted-L1-hit loads off that serial lane too: the worker
+ * probes a seqlock shadow of its core's private L1 (cache/shadow_l1.hh,
+ * written only by the commit lane) plus a private overlay of the core's
+ * own recent stores, and on a hit returns the predicted value to the
+ * fiber immediately — no park. The op is tagged (MemOp::spec/spec_value/
+ * epoch) and the commit lane *always* executes the load exactly as the
+ * inline kernel would, then compares: a match is a spec hit (the value
+ * the fiber ran ahead with was architecturally right; nothing to do), a
+ * mismatch squashes — the core's mailbox is cleared, its speculation
+ * epoch advances, and the worker rebuilds the fiber and replays the
+ * committed prefix from a per-core journal of load results, ending with
+ * the corrected value. Because the commit lane's execution, ordering and
+ * event schedule never depend on the prediction, canonical reports stay
+ * byte-identical with speculation on or off, at every width.
+ *
  * The mailbox depth is derived from SystemConfig::shardQuantum(): each
  * committed op consumes at least one core cycle, so a mailbox of
  * quantum/cycle entries bounds a worker's run-ahead to about one
@@ -34,9 +50,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "cpu/mem_op.hh"
@@ -47,6 +65,7 @@ namespace bbb
 {
 
 class Fiber;
+class ShadowL1Table;
 
 /** Why an offloaded fiber is suspended. */
 enum class ShardPark : unsigned char
@@ -54,7 +73,7 @@ enum class ShardPark : unsigned char
     None,       ///< runnable (or currently running)
     NeedResult, ///< waiting for a load value from the commit lane
     NeedSpace,  ///< waiting for mailbox space
-    Halted,     ///< crash/shutdown: never resumed again
+    Halted,     ///< crash/shutdown/stale epoch: never resumed again
 };
 
 /**
@@ -65,6 +84,10 @@ enum class ShardPark : unsigned char
 class ShardRuntime
 {
   public:
+    /** Builds a fresh fiber for a squashed core after resetting every
+     *  host-side effect of the thread body (see Core::bindThread). */
+    using FiberRebuild = std::function<Fiber *()>;
+
     explicit ShardRuntime(const SystemConfig &cfg);
     ~ShardRuntime();
 
@@ -82,8 +105,17 @@ class ShardRuntime
 
     // -- setup (main thread) ------------------------------------------
 
-    /** Register core @p id's fiber with its owning worker shard. */
-    void addCore(CoreId id, Fiber *fiber);
+    /**
+     * Register core @p id's fiber with its owning worker shard. Passing
+     * a @p rebuild hook makes the core eligible for speculative load
+     * resolution (spec additionally requires cfg.spec and a shadow);
+     * without one, loads always park — a squash could not restore the
+     * thread body's host-side state.
+     */
+    void addCore(CoreId id, Fiber *fiber, FiberRebuild rebuild = nullptr);
+
+    /** The commit lane's published L1 shadow (null keeps spec off). */
+    void setShadow(const ShadowL1Table *shadow) { _shadow = shadow; }
 
     /** Launch the worker threads (idempotent). */
     void start();
@@ -110,9 +142,31 @@ class ShardRuntime
     void sendResume(CoreId id, std::uint64_t value, Tick resume_tick);
 
     /**
-     * Halt every worker and wait until none is inside a fiber. After
-     * this returns, all worker-written state (workload logs, heap
-     * frontiers) is safe to read from the calling thread. Idempotent.
+     * A speculative load committed with the predicted value: retire its
+     * journal entry. The fiber already ran ahead, so no resume is sent.
+     * @p validate_ns is the host time the commit lane spent comparing.
+     */
+    void specValidated(CoreId id, std::uint64_t validate_ns);
+
+    /**
+     * A speculative load committed with a different value than the
+     * probe predicted: discard core @p id's run-ahead. Clears the
+     * mailbox, advances the speculation epoch (any still-running
+     * wrong-path fiber parks at its next op and is abandoned), truncates
+     * the journal to the committed prefix and appends the corrected
+     * value; the owning worker then rebuilds the fiber and replays.
+     */
+    void squash(CoreId id, std::uint64_t corrected, Tick resume_tick,
+                std::uint64_t validate_ns);
+
+    /**
+     * Halt every worker, wait until none is inside a fiber, then
+     * reconcile speculation: any core whose fiber ran ahead of its
+     * committed loads (an in-flight squash, or unvalidated speculative
+     * values that may be wrong) is rebuilt and replayed to the committed
+     * prefix on the calling thread. After this returns, all
+     * worker-written state (workload logs, heap frontiers, litmus
+     * registers) reflects only committed load values. Idempotent.
      */
     void quiesce();
 
@@ -120,8 +174,9 @@ class ShardRuntime
 
     /**
      * Push @p op into core @p id's mailbox, parking while it is full.
-     * For loads, parks until the commit lane delivers the value and
-     * returns it; all other kinds return 0 immediately (run-ahead).
+     * Loads resolved by the speculative probe return the predicted value
+     * immediately (run-ahead); other loads park until the commit lane
+     * delivers the value. Non-loads return 0 immediately.
      */
     std::uint64_t produceOp(CoreId id, const MemOp &op);
 
@@ -133,7 +188,34 @@ class ShardRuntime
     /** Host nanoseconds the commit lane spent blocked in popOp(). */
     std::uint64_t commitStallNs() const { return _stall_ns; }
 
+    /** Speculative loads whose prediction validated at commit. */
+    std::uint64_t specHits() const;
+    /** Loads that fell back to parking (probe missed or unstable). */
+    std::uint64_t specMisses() const;
+    /** Mispredicted speculative loads (fiber rebuilt + replayed). */
+    std::uint64_t squashes() const;
+    /** Host nanoseconds the commit lane spent validating predictions. */
+    std::uint64_t validateNs() const;
+
   private:
+    /** One committed (or predicted) load result, for squash replay. */
+    struct JournalEntry
+    {
+        std::uint64_t value = 0;
+        Tick tick = 0;
+        /** Parked loads resume the fiber clock; speculative ones do
+         *  not (the fiber ran ahead with its stale segmentNow). */
+        bool has_tick = false;
+    };
+
+    /** Byte-accurate overlay of the core's own recent pending stores. */
+    struct PendingBlock
+    {
+        std::uint64_t mask = 0; ///< bit b set => bytes[b] is valid
+        unsigned char bytes[kBlockSize] = {};
+        std::uint64_t seq = 0; ///< store_seq at last write (staleness)
+    };
+
     struct Channel
     {
         Fiber *fiber = nullptr;
@@ -149,6 +231,33 @@ class ShardRuntime
         /** Worker-thread-private copies (no lock needed from the fiber). */
         std::uint64_t value_for_fiber = 0;
         Tick now_for_fiber = 0;
+
+        // --- speculation state -----------------------------------------
+        FiberRebuild rebuild;
+        /** Probe-eligible: spec enabled and a rebuild hook registered.
+         *  Only the owning worker clears it after setup (journal cap). */
+        bool spec_allowed = false;
+        /** Commit-side authority; bumped by every squash. */
+        std::uint32_t current_epoch = 0;
+        /** Epoch the live fiber was built in. */
+        std::uint32_t fiber_epoch = 0;
+        /** Squash issued; the worker must rebuild before running. */
+        bool squash_pending = false;
+        /** Fiber is replaying the committed journal prefix. */
+        bool replaying = false;
+        /** Next journal entry a replaying fiber consumes. */
+        std::size_t replay_pos = 0;
+        /** Ops the commit lane has popped (committed + in flight). */
+        std::uint64_t ops_popped = 0;
+        /** Replay runs the first replay_target ops of the thread body. */
+        std::uint64_t replay_target = 0;
+        std::uint64_t replay_seen = 0;
+        std::vector<JournalEntry> journal;
+        /** Entries [0, journal_committed) are commit-confirmed. */
+        std::size_t journal_committed = 0;
+        /** Worker-private store overlay for the probe. */
+        std::unordered_map<Addr, PendingBlock> pending;
+        std::uint64_t store_seq = 0;
     };
 
     void workerLoop(unsigned shard);
@@ -156,9 +265,36 @@ class ShardRuntime
     Channel &channel(CoreId id);
     const Channel &channel(CoreId id) const;
 
+    /** Worker-side: predict a load from shadow + pending overlay. */
+    bool predictLoad(Channel &ch, CoreId id, const MemOp &op,
+                     std::uint64_t *out);
+    /** Worker-side: record a produced store in the probe overlay. */
+    void notePendingStore(Channel &ch, const MemOp &op);
+    /**
+     * Feed a replaying fiber op results from the journal. Returns true
+     * with @p out set when the op was handled in replay; false when the
+     * op must fall through to the live path (the load that was in
+     * flight, value never committed — it parks there, like inline).
+     */
+    bool replayFeed(Channel &ch, const MemOp &op, std::uint64_t &out);
+    /** Destroy + rebuild the fiber (called with _mu UNLOCKED). */
+    void rebuildChannel(Channel &ch);
+    /** Arm the rebuilt channel for journal replay (with _mu held). */
+    void beginReplay(Channel &ch);
+    /** Handle a pending squash for @p shard; true if one was handled. */
+    bool handleSquash(unsigned shard, std::unique_lock<std::mutex> &lk);
+    /** Drop a fully-committed journal once spec is off for the core. */
+    void maybeRetireJournal(Channel &ch);
+    /** Park the calling fiber forever (with _mu held on entry). */
+    [[noreturn]] static void parkForever(Channel &ch,
+                                         std::unique_lock<std::mutex> &lk);
+
     const unsigned _shards;
     const Tick _quantum;
     const std::size_t _capacity;
+    const bool _spec_enabled;
+    const std::uint64_t _pending_staleness;
+    const ShadowL1Table *_shadow = nullptr;
 
     mutable std::mutex _mu;
     /** Wakes worker s-1 (workers are shards 1..N-1). */
@@ -174,8 +310,14 @@ class ShardRuntime
     bool _halted = false;
     bool _shutdown = false;
     bool _started_threads = false;
+    bool _reconciled = false;
 
     std::uint64_t _stall_ns = 0; // commit lane only
+    // Speculation telemetry (under _mu; getters lock).
+    std::uint64_t _spec_hits = 0;
+    std::uint64_t _spec_misses = 0;
+    std::uint64_t _squashes = 0;
+    std::uint64_t _validate_ns = 0;
 };
 
 } // namespace bbb

@@ -213,6 +213,16 @@ class Workload
     bindThreads(System &sys)
     {
         for (CoreId c = _first; c < _end; ++c) {
+            // Squash-rollback hook for the sharded kernel's speculative
+            // probe: everything runThread changes outside simulated
+            // memory is this issue log and the thread's heap arena
+            // frontier (the per-thread RNG lives in the ThreadContext,
+            // which the core rebuilds with the same seed).
+            Addr frontier = sys.heap().frontier(c);
+            sys.onThreadReset(c, [this, &sys, c, frontier]() {
+                _issued.at(c).clear();
+                sys.heap().setFrontier(c, frontier);
+            });
             sys.onThread(c, [this, c](ThreadContext &tc) {
                 runThread(tc, c);
             });

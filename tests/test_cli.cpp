@@ -241,3 +241,36 @@ TEST(CliOnOffDeath, StrictArgsRejectsMalformed)
     EXPECT_EXIT(cli::onOffArg(a.argc(), a.argv(), "--por", true),
                 ::testing::ExitedWithCode(2), "--por expects on\\|off");
 }
+
+TEST(CliSpec, DefaultTracksShardWidth)
+{
+    // Speculation defaults on whenever worker shards exist, off at the
+    // inline width where it could do nothing.
+    Argv a({"--fast"});
+    EXPECT_TRUE(cli::specArg(a.argc(), a.argv(), 4));
+    EXPECT_TRUE(cli::specArg(a.argc(), a.argv(), 2));
+    EXPECT_FALSE(cli::specArg(a.argc(), a.argv(), 1));
+}
+
+TEST(CliSpec, ExplicitValueParsed)
+{
+    Argv off({"--spec", "off"});
+    EXPECT_FALSE(cli::specArg(off.argc(), off.argv(), 4));
+    Argv on({"--spec", "on"});
+    EXPECT_TRUE(cli::specArg(on.argc(), on.argv(), 4));
+}
+
+TEST(CliSpec, ClampWarnsAndStaysOffAtOneShard)
+{
+    // An explicit --spec on at --shards 1 is a no-op: the parser warns
+    // and reports speculation off so callers see the effective state.
+    Argv a({"--spec", "on"});
+    EXPECT_FALSE(cli::specArg(a.argc(), a.argv(), 1));
+}
+
+TEST(CliSpecDeath, StrictArgsRejectsMalformed)
+{
+    Argv a({"--strict-args", "--spec", "maybe"});
+    EXPECT_EXIT(cli::specArg(a.argc(), a.argv(), 4),
+                ::testing::ExitedWithCode(2), "--spec expects on\\|off");
+}

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the speculative L1 probe on worker shards
+ * (sim/shard.hh, cache/shadow_l1.hh): the squash/replay recovery path
+ * must leave simulation results byte-identical to an inline run, both
+ * when mispredicts are injected deterministically
+ * (SystemConfig::spec_mispredict_period) and when a remote store
+ * genuinely invalidates a probed line between probe and commit (driven
+ * through an exact litmus schedule). A skip-validate mutation
+ * (BBB_LITMUS_MUTATE=spec-skip-validate) must be observable — it is the
+ * seeded bug the litmus harness exists to catch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "api/system.hh"
+#include "litmus/corpus.hh"
+#include "litmus/litmus.hh"
+#include "litmus/model.hh"
+#include "litmus/sim_driver.hh"
+#include "workloads/workload.hh"
+
+using namespace bbb;
+
+namespace
+{
+
+/** Scope guard: force canonical-report mode, restore on exit. */
+struct CanonicalGuard
+{
+    CanonicalGuard()
+    {
+        const char *prev = std::getenv("BBB_REPORT_CANONICAL");
+        if (prev) {
+            _saved = prev;
+            _had = true;
+        }
+        setenv("BBB_REPORT_CANONICAL", "1", 1);
+    }
+    ~CanonicalGuard()
+    {
+        if (_had)
+            setenv("BBB_REPORT_CANONICAL", _saved.c_str(), 1);
+        else
+            unsetenv("BBB_REPORT_CANONICAL");
+    }
+
+  private:
+    std::string _saved;
+    bool _had = false;
+};
+
+/** Scope guard for the BBB_LITMUS_MUTATE switch. */
+struct MutateGuard
+{
+    explicit MutateGuard(const char *name)
+    {
+        setenv("BBB_LITMUS_MUTATE", name, 1);
+    }
+    ~MutateGuard() { unsetenv("BBB_LITMUS_MUTATE"); }
+};
+
+struct SpecRun
+{
+    std::string json;
+    std::uint64_t spec_hits = 0;
+    std::uint64_t squashes = 0;
+};
+
+/**
+ * One hashmap run: canonical snapshot plus the host-side speculation
+ * counters. @p period injects a forced squash (with the *correct*
+ * value, so recovery is exercised without perturbing the simulation)
+ * every Nth successful validation.
+ */
+SpecRun
+hashmapRun(unsigned shards, bool spec, std::uint64_t period)
+{
+    SystemConfig cfg;
+    cfg.num_cores = 4;
+    cfg.shards = shards;
+    cfg.spec = spec;
+    cfg.spec_mispredict_period = period;
+    cfg.l1d.size_bytes = 4_KiB;
+    cfg.llc.size_bytes = 16_KiB;
+    cfg.dram.size_bytes = 64_MiB;
+    cfg.nvmm.size_bytes = 64_MiB;
+    cfg.bbpb.entries = 8;
+
+    WorkloadParams params;
+    params.ops_per_thread = 150;
+    params.initial_elements = 60;
+    params.array_elements = 1 << 12;
+
+    System sys(cfg);
+    auto wl = makeWorkload("hashmap", params);
+    wl->install(sys);
+    sys.run();
+
+    SpecRun out;
+    out.json = sys.snapshotMetrics().toJson();
+    if (ShardRuntime *rt = sys.shardRuntime()) {
+        out.spec_hits = rt->specHits();
+        out.squashes = rt->squashes();
+    }
+    return out;
+}
+
+/**
+ * The corr schedule that manufactures a genuine mispredict at width 4:
+ * t1's first load installs x into its L1 (and the shadow), so its
+ * second load probe-hits the stale value and the fiber runs ahead;
+ * t0's two stores then invalidate the line before the commit lane
+ * executes that second load, which must squash and replay to r1=2.
+ * Thread 1 maps to worker shard 1 at width 4 (core % shards).
+ */
+constexpr char kCorrMispredictSchedule[] = "1 0 0d 0 0d 1";
+
+litmus::SimResult
+corrRun(unsigned width)
+{
+    const litmus::Test *corr = litmus::findTest("corr");
+    EXPECT_NE(corr, nullptr);
+    litmus::Program prog = litmus::lower(*corr, litmus::Mode::Bbb);
+    std::vector<litmus::Step> steps;
+    std::string err;
+    EXPECT_TRUE(
+        litmus::parseSchedule(kCorrMispredictSchedule, &steps, &err))
+        << err;
+    return litmus::runSchedule(*corr, prog, litmus::Mode::Bbb, width,
+                               steps);
+}
+
+} // namespace
+
+TEST(SpecProbe, InjectedMispredictsSquashAndStayByteIdentical)
+{
+    CanonicalGuard canonical;
+    SpecRun inline_run = hashmapRun(1, false, 0);
+    // Every validation squashes (period 1) — the harshest replay load —
+    // and a sparser period that interleaves validated and squashed ops.
+    for (std::uint64_t period : {std::uint64_t{1}, std::uint64_t{7}}) {
+        SpecRun wide = hashmapRun(4, true, period);
+        // Period 1 turns every validation into a squash, so only the
+        // squash counter moves; sparser periods leave validated hits.
+        EXPECT_GT(wide.spec_hits + wide.squashes, 0u)
+            << "period " << period;
+        EXPECT_GT(wide.squashes, 0u) << "period " << period;
+        EXPECT_EQ(inline_run.json, wide.json) << "period " << period;
+    }
+    // And with speculation clean (no injection): still byte-identical.
+    SpecRun clean = hashmapRun(4, true, 0);
+    EXPECT_GT(clean.spec_hits, 0u);
+    EXPECT_EQ(inline_run.json, clean.json);
+}
+
+TEST(SpecProbe, GenuineMispredictSquashesToInlineResult)
+{
+    litmus::SimResult narrow = corrRun(1);
+    litmus::SimResult wide = corrRun(4);
+    ASSERT_TRUE(narrow.ok) << narrow.error;
+    ASSERT_TRUE(wide.ok) << wide.error;
+    ASSERT_TRUE(narrow.completed);
+    ASSERT_TRUE(wide.completed);
+    // r0 observed the initial value; r1 was probed stale (0) on the
+    // worker but must read 2 after the squash replays the load.
+    EXPECT_EQ(narrow.regs[0], 0u);
+    EXPECT_EQ(narrow.regs[1], 2u);
+    EXPECT_EQ(wide.regs, narrow.regs);
+    EXPECT_EQ(wide.reg_done, narrow.reg_done);
+    EXPECT_EQ(wide.final_mem, narrow.final_mem);
+    EXPECT_EQ(wide.image, narrow.image);
+}
+
+TEST(SpecProbe, SkipValidateMutationIsCaught)
+{
+    MutateGuard mutate("spec-skip-validate");
+    // Inline width: speculation is inert, the mutation cannot bite.
+    litmus::SimResult narrow = corrRun(1);
+    ASSERT_TRUE(narrow.ok) << narrow.error;
+    EXPECT_EQ(narrow.regs[1], 2u);
+    // Worker width: the mutation skips commit-time validation, so the
+    // stale probed value survives in r1 — exactly the divergence the
+    // litmus harness flags. This both kills the mutant and proves the
+    // schedule above manufactures a real mispredict.
+    litmus::SimResult wide = corrRun(4);
+    ASSERT_TRUE(wide.ok) << wide.error;
+    EXPECT_EQ(wide.regs[1], 0u)
+        << "mutated run did not keep the stale speculative value; the "
+           "schedule no longer exercises a mispredict";
+}
